@@ -1,0 +1,283 @@
+//! Mechanism **CDS — Cost-Diminishing Selection** (paper §3.2).
+//!
+//! CDS refines an existing allocation by steepest-descent over
+//! single-item moves. Each iteration scans all `O(K²N)` candidate moves,
+//! evaluates the closed-form cost reduction of Eq. 4 in O(1) per
+//! candidate, applies the best strictly-improving move, and stops at a
+//! local optimum.
+
+use dbcast_model::{Allocation, ChannelId, ItemId, ModelError, Move};
+use serde::{Deserialize, Serialize};
+
+/// One applied CDS move, mirroring a row of the paper's Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CdsStep {
+    /// The applied relocation.
+    pub mv: Move,
+    /// The predicted-and-realized cost reduction `Δc_max`.
+    pub reduction: f64,
+    /// Total cost after applying the move.
+    pub cost_after: f64,
+}
+
+/// The result of a CDS refinement run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdsOutcome {
+    /// The refined (locally optimal, unless capped) allocation.
+    pub allocation: Allocation,
+    /// Total cost before any move.
+    pub initial_cost: f64,
+    /// Every applied move, in order.
+    pub steps: Vec<CdsStep>,
+    /// `true` when CDS stopped because no improving move exists (a
+    /// genuine local optimum); `false` when the iteration cap fired.
+    pub converged: bool,
+}
+
+impl CdsOutcome {
+    /// Total cost after the last applied move.
+    pub fn final_cost(&self) -> f64 {
+        self.steps.last().map_or(self.initial_cost, |s| s.cost_after)
+    }
+}
+
+/// The CDS refiner.
+///
+/// The improvement threshold rejects moves whose Eq. 4 reduction is not
+/// strictly above `min_reduction` (default `1e-9`); together with the
+/// iteration cap this guarantees termination in the presence of
+/// floating-point noise.
+///
+/// # Example
+///
+/// ```
+/// use dbcast_alloc::{Cds, Drp};
+/// use dbcast_model::ChannelAllocator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let db = dbcast_workload::paper::table2_profile();
+/// let rough = Drp::new().allocate(&db, 5)?;
+/// let refined = Cds::new().refine(&db, rough)?;
+/// assert!(refined.converged);
+/// assert!(refined.final_cost() <= refined.initial_cost);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cds {
+    min_reduction: f64,
+    max_iterations: usize,
+}
+
+impl Default for Cds {
+    fn default() -> Self {
+        Cds { min_reduction: 1e-9, max_iterations: 1_000_000 }
+    }
+}
+
+impl Cds {
+    /// Creates a refiner with default threshold (`1e-9`) and iteration
+    /// cap (`1_000_000`).
+    pub fn new() -> Self {
+        Cds::default()
+    }
+
+    /// Sets the minimum strict improvement a move must deliver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or not finite.
+    pub fn min_reduction(mut self, threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "min_reduction must be finite and >= 0"
+        );
+        self.min_reduction = threshold;
+        self
+    }
+
+    /// Caps the number of applied moves (safety valve; the default is
+    /// far beyond anything the paper's instances need).
+    pub fn max_iterations(mut self, cap: usize) -> Self {
+        self.max_iterations = cap;
+        self
+    }
+
+    /// Finds the best single-item move, if any clears the threshold.
+    ///
+    /// The scan follows the paper's loop order: origin channel `p`
+    /// ascending, items within `p` in id order, destination `q`
+    /// ascending; strict `>` keeps the first of tied candidates.
+    fn best_move(&self, alloc: &Allocation) -> Option<(Move, f64)> {
+        let k = alloc.channels();
+        let mut best: Option<(Move, f64)> = None;
+        let mut best_reduction = self.min_reduction;
+        for (item, &p) in alloc.assignment().iter().enumerate() {
+            for q in 0..k {
+                if q == p {
+                    continue;
+                }
+                let mv = Move {
+                    item: ItemId::new(item),
+                    from: ChannelId::new(p),
+                    to: ChannelId::new(q),
+                };
+                let reduction = alloc
+                    .move_reduction(mv)
+                    .expect("scan only proposes consistent moves");
+                if reduction > best_reduction {
+                    best_reduction = reduction;
+                    best = Some((mv, reduction));
+                }
+            }
+        }
+        best
+    }
+
+    /// Refines `alloc` to a local optimum over `db`'s cost surface.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::AssignmentLength`] if `alloc` was not built over
+    /// `db` (defensive; the refinement itself cannot fail).
+    pub fn refine(
+        &self,
+        db: &dbcast_model::Database,
+        mut alloc: Allocation,
+    ) -> Result<CdsOutcome, ModelError> {
+        if alloc.items() != db.len() {
+            return Err(ModelError::AssignmentLength {
+                expected: db.len(),
+                actual: alloc.items(),
+            });
+        }
+        let initial_cost = alloc.total_cost();
+        let mut steps = Vec::new();
+        let mut converged = false;
+        while steps.len() < self.max_iterations {
+            match self.best_move(&alloc) {
+                Some((mv, reduction)) => {
+                    alloc.apply_move(mv)?;
+                    steps.push(CdsStep { mv, reduction, cost_after: alloc.total_cost() });
+                }
+                None => {
+                    converged = true;
+                    break;
+                }
+            }
+        }
+        // A capped run that would find no further move is still converged.
+        if !converged && self.best_move(&alloc).is_none() {
+            converged = true;
+        }
+        Ok(CdsOutcome { allocation: alloc, initial_cost, steps, converged })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcast_model::{Allocation, ChannelAllocator, Database, ItemSpec};
+
+    fn paper_drp_allocation(db: &Database) -> Allocation {
+        crate::Drp::new().allocate_traced(db, 5).unwrap().allocation
+    }
+
+    #[test]
+    fn refine_rejects_mismatched_allocation() {
+        let db = dbcast_workload::paper::table2_profile();
+        let other = Database::try_from_specs(vec![ItemSpec::new(1.0, 1.0)]).unwrap();
+        let alloc = Allocation::from_assignment(&other, 1, vec![0]).unwrap();
+        assert!(Cds::new().refine(&db, alloc).is_err());
+    }
+
+    #[test]
+    fn local_optimum_has_no_improving_move() {
+        let db = dbcast_workload::paper::table2_profile();
+        let out = Cds::new().refine(&db, paper_drp_allocation(&db)).unwrap();
+        assert!(out.converged);
+        assert!(Cds::new().best_move(&out.allocation).is_none());
+    }
+
+    #[test]
+    fn cost_strictly_decreases_along_steps() {
+        let db = dbcast_workload::WorkloadBuilder::new(100).seed(4).build().unwrap();
+        let rough = crate::Drp::new().allocate(&db, 6).unwrap();
+        let out = Cds::new().refine(&db, rough).unwrap();
+        let mut prev = out.initial_cost;
+        for s in &out.steps {
+            assert!(s.cost_after < prev);
+            assert!((prev - s.cost_after - s.reduction).abs() < 1e-6);
+            prev = s.cost_after;
+        }
+    }
+
+    #[test]
+    fn reproduces_paper_table4() {
+        // Table 4: initial cost 24.09; first move d10: group4 -> group2
+        // with Δc = 0.95; second move d12: group3 -> group2 with
+        // Δc = 0.45; local optimum at cost 22.29.
+        let db = dbcast_workload::paper::table2_profile();
+        let out = Cds::new().refine(&db, paper_drp_allocation(&db)).unwrap();
+        assert!((out.initial_cost - 24.09).abs() < 0.01, "{}", out.initial_cost);
+        assert!(out.steps.len() >= 2);
+        let s0 = &out.steps[0];
+        assert_eq!(s0.mv.item.index() + 1, 10); // paper's d10
+        assert!((s0.reduction - 0.95).abs() < 0.01, "{}", s0.reduction);
+        let s1 = &out.steps[1];
+        assert_eq!(s1.mv.item.index() + 1, 12); // paper's d12
+        assert!((s1.reduction - 0.45).abs() < 0.01, "{}", s1.reduction);
+        assert!((out.final_cost() - 22.29).abs() < 0.01, "{}", out.final_cost());
+    }
+
+    #[test]
+    fn iteration_cap_limits_moves() {
+        let db = dbcast_workload::WorkloadBuilder::new(120).seed(1).build().unwrap();
+        let rough = crate::Drp::new().allocate(&db, 8).unwrap();
+        let capped = Cds::new().max_iterations(1).refine(&db, rough.clone()).unwrap();
+        assert!(capped.steps.len() <= 1);
+        let full = Cds::new().refine(&db, rough).unwrap();
+        assert!(full.final_cost() <= capped.final_cost() + 1e-12);
+    }
+
+    #[test]
+    fn already_optimal_allocation_is_untouched() {
+        // Two identical items on two channels is a local optimum.
+        let db = Database::try_from_specs(vec![
+            ItemSpec::new(0.5, 1.0),
+            ItemSpec::new(0.5, 1.0),
+        ])
+        .unwrap();
+        let alloc = Allocation::from_assignment(&db, 2, vec![0, 1]).unwrap();
+        let out = Cds::new().refine(&db, alloc.clone()).unwrap();
+        assert!(out.steps.is_empty());
+        assert!(out.converged);
+        assert_eq!(out.allocation, alloc);
+    }
+
+    #[test]
+    fn cds_can_empty_a_channel() {
+        // The paper's own example empties group 3 (Table 4(c)): CDS may
+        // leave channels empty when that lowers cost.
+        let db = dbcast_workload::paper::table2_profile();
+        let out = Cds::new().refine(&db, paper_drp_allocation(&db)).unwrap();
+        // After step 2, group 3 = {d1} only — and the run is still valid.
+        out.allocation.validate(&db).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "min_reduction")]
+    fn negative_threshold_panics() {
+        let _ = Cds::new().min_reduction(-1.0);
+    }
+
+    #[test]
+    fn threshold_suppresses_tiny_improvements() {
+        let db = dbcast_workload::WorkloadBuilder::new(40).seed(6).build().unwrap();
+        let rough = crate::Drp::new().allocate(&db, 4).unwrap();
+        let strict = Cds::new().min_reduction(1e3).refine(&db, rough).unwrap();
+        // No move can beat a huge threshold, so nothing is applied.
+        assert!(strict.steps.is_empty());
+        assert!(strict.converged);
+    }
+}

@@ -1,0 +1,480 @@
+//! Online maintenance of a broadcast program: insertions, removals and
+//! popularity updates with *localized* CDS repair.
+//!
+//! The paper generates programs offline from a static database. A
+//! production server faces a drifting catalogue: items appear (breaking
+//! news), disappear (expired content) and change popularity. Recomputing
+//! DRP-CDS from scratch on every change is cheap but unnecessary —
+//! single-item changes disturb the cost surface locally, and a bounded
+//! number of steepest-descent moves restores a local optimum.
+//!
+//! [`DynamicBroadcast`] owns a mutable catalogue of `(weight, size)`
+//! items (weights are raw popularity counts — the cost function is
+//! scale-invariant in the sense that scaling all weights scales every
+//! candidate allocation's cost equally, so normalization can wait until
+//! a snapshot is taken) plus a channel assignment, and keeps per-channel
+//! aggregates incrementally.
+
+use std::collections::BTreeMap;
+
+use dbcast_model::{AllocError, Allocation, ChannelAllocator, Database, ItemSpec, ModelError};
+use serde::{Deserialize, Serialize};
+
+/// A handle to an item in a [`DynamicBroadcast`] catalogue.
+///
+/// Handles are never reused; removing an item invalidates its handle
+/// permanently.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ItemHandle(u64);
+
+impl std::fmt::Display for ItemHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// Statistics of one maintenance operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct RepairStats {
+    /// Steepest-descent moves applied during repair.
+    pub moves: usize,
+    /// Total cost reduction the repair achieved.
+    pub reduction: f64,
+}
+
+/// Errors from dynamic maintenance.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DynamicError {
+    /// The handle does not (or no longer does) name an item.
+    UnknownHandle(ItemHandle),
+    /// A weight or size is not finite and strictly positive.
+    InvalidFeature {
+        /// `"weight"` or `"size"`.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The catalogue is empty (snapshot/allocation impossible).
+    Empty,
+}
+
+impl std::fmt::Display for DynamicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynamicError::UnknownHandle(h) => write!(f, "unknown item handle {h}"),
+            DynamicError::InvalidFeature { what, value } => {
+                write!(f, "invalid {what} {value}; must be finite and > 0")
+            }
+            DynamicError::Empty => write!(f, "dynamic catalogue is empty"),
+        }
+    }
+}
+
+impl std::error::Error for DynamicError {}
+
+/// A mutable broadcast catalogue with an incrementally maintained
+/// channel assignment.
+///
+/// # Example
+///
+/// ```
+/// use dbcast_alloc::DynamicBroadcast;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut live = DynamicBroadcast::new(3);
+/// let hot = live.insert(100.0, 2.0)?;   // popular, small
+/// let _cold = live.insert(5.0, 40.0)?;  // niche, bulky
+/// live.update_weight(hot, 250.0)?;      // popularity spike
+/// live.remove(hot)?;
+/// assert_eq!(live.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicBroadcast {
+    channels: usize,
+    next_handle: u64,
+    /// Catalogue: handle -> (weight, size, channel).
+    items: BTreeMap<ItemHandle, (f64, f64, usize)>,
+    /// Per-channel aggregates (Σ weight, Σ size).
+    freq: Vec<f64>,
+    size: Vec<f64>,
+    /// Repair budget per operation (max moves).
+    repair_budget: usize,
+}
+
+impl DynamicBroadcast {
+    /// Creates an empty catalogue over `channels` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "at least one channel required");
+        DynamicBroadcast {
+            channels,
+            next_handle: 0,
+            items: BTreeMap::new(),
+            freq: vec![0.0; channels],
+            size: vec![0.0; channels],
+            repair_budget: 8,
+        }
+    }
+
+    /// Seeds a dynamic catalogue from an existing database and
+    /// allocation (e.g. an offline DRP-CDS result), returning the
+    /// handles in database id order.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::AssignmentLength`] if the allocation does not
+    /// cover the database.
+    pub fn from_allocation(
+        db: &Database,
+        alloc: &Allocation,
+    ) -> Result<(Self, Vec<ItemHandle>), ModelError> {
+        if alloc.items() != db.len() {
+            return Err(ModelError::AssignmentLength {
+                expected: db.len(),
+                actual: alloc.items(),
+            });
+        }
+        let mut live = DynamicBroadcast::new(alloc.channels());
+        let mut handles = Vec::with_capacity(db.len());
+        for (item, &ch) in alloc.assignment().iter().enumerate() {
+            let d = &db.items()[item];
+            let h = live.insert_on(d.frequency(), d.size(), ch);
+            handles.push(h);
+        }
+        Ok((live, handles))
+    }
+
+    /// Sets the per-operation repair budget (steepest-descent moves).
+    pub fn with_repair_budget(mut self, moves: usize) -> Self {
+        self.repair_budget = moves;
+        self
+    }
+
+    /// Number of live items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the catalogue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Current cost `Σ F_i Z_i` over raw weights.
+    pub fn cost(&self) -> f64 {
+        self.freq.iter().zip(&self.size).map(|(f, z)| f * z).sum()
+    }
+
+    /// The channel currently carrying `handle`.
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::UnknownHandle`].
+    pub fn channel_of(&self, handle: ItemHandle) -> Result<usize, DynamicError> {
+        self.items
+            .get(&handle)
+            .map(|&(_, _, ch)| ch)
+            .ok_or(DynamicError::UnknownHandle(handle))
+    }
+
+    fn validate_feature(what: &'static str, value: f64) -> Result<(), DynamicError> {
+        if !value.is_finite() || value <= 0.0 {
+            return Err(DynamicError::InvalidFeature { what, value });
+        }
+        Ok(())
+    }
+
+    fn insert_on(&mut self, weight: f64, size: f64, channel: usize) -> ItemHandle {
+        let handle = ItemHandle(self.next_handle);
+        self.next_handle += 1;
+        self.items.insert(handle, (weight, size, channel));
+        self.freq[channel] += weight;
+        self.size[channel] += size;
+        handle
+    }
+
+    /// Inserts an item, placing it greedily on the channel where it
+    /// increases cost least, then runs a localized repair.
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::InvalidFeature`] for bad weight/size.
+    pub fn insert(&mut self, weight: f64, size: f64) -> Result<ItemHandle, DynamicError> {
+        Self::validate_feature("weight", weight)?;
+        Self::validate_feature("size", size)?;
+        // Greedy placement: Δcost = F·z + Z·w + w·z.
+        let best = (0..self.channels)
+            .min_by(|&a, &b| {
+                let da = self.freq[a] * size + self.size[a] * weight;
+                let db = self.freq[b] * size + self.size[b] * weight;
+                da.total_cmp(&db)
+            })
+            .expect("channels > 0");
+        let handle = self.insert_on(weight, size, best);
+        self.repair();
+        Ok(handle)
+    }
+
+    /// Removes an item and repairs.
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::UnknownHandle`].
+    pub fn remove(&mut self, handle: ItemHandle) -> Result<RepairStats, DynamicError> {
+        let (w, z, ch) = self
+            .items
+            .remove(&handle)
+            .ok_or(DynamicError::UnknownHandle(handle))?;
+        self.freq[ch] -= w;
+        self.size[ch] -= z;
+        Ok(self.repair())
+    }
+
+    /// Updates an item's popularity weight and repairs.
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::UnknownHandle`] / [`DynamicError::InvalidFeature`].
+    pub fn update_weight(
+        &mut self,
+        handle: ItemHandle,
+        weight: f64,
+    ) -> Result<RepairStats, DynamicError> {
+        Self::validate_feature("weight", weight)?;
+        let entry = self
+            .items
+            .get_mut(&handle)
+            .ok_or(DynamicError::UnknownHandle(handle))?;
+        let (old_w, _z, ch) = *entry;
+        entry.0 = weight;
+        self.freq[ch] += weight - old_w;
+        Ok(self.repair())
+    }
+
+    /// Runs bounded steepest-descent repair (at most the configured
+    /// budget of moves); returns what it did.
+    pub fn repair(&mut self) -> RepairStats {
+        let mut stats = RepairStats::default();
+        for _ in 0..self.repair_budget {
+            // Best single move across the catalogue (CDS step over raw
+            // weights).
+            let mut best: Option<(ItemHandle, usize, f64)> = None;
+            for (&h, &(w, z, p)) in &self.items {
+                for q in 0..self.channels {
+                    if q == p {
+                        continue;
+                    }
+                    let delta = w * (self.size[p] - self.size[q])
+                        + z * (self.freq[p] - self.freq[q])
+                        - 2.0 * w * z;
+                    if delta > 1e-12 && best.is_none_or(|(_, _, d)| delta > d) {
+                        best = Some((h, q, delta));
+                    }
+                }
+            }
+            match best {
+                Some((h, q, delta)) => {
+                    let entry = self.items.get_mut(&h).expect("handle from scan");
+                    let (w, z, p) = *entry;
+                    entry.2 = q;
+                    self.freq[p] -= w;
+                    self.size[p] -= z;
+                    self.freq[q] += w;
+                    self.size[q] += z;
+                    stats.moves += 1;
+                    stats.reduction += delta;
+                }
+                None => break,
+            }
+        }
+        stats
+    }
+
+    /// Materializes the current state as a normalized [`Database`] plus
+    /// [`Allocation`] (handles map to database ids in handle order).
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::Empty`] when no items are live.
+    pub fn snapshot(&self) -> Result<(Database, Allocation), DynamicError> {
+        if self.items.is_empty() {
+            return Err(DynamicError::Empty);
+        }
+        let specs: Vec<ItemSpec> = self
+            .items
+            .values()
+            .map(|&(w, z, _)| ItemSpec::new(w, z))
+            .collect();
+        let assignment: Vec<usize> = self.items.values().map(|&(_, _, ch)| ch).collect();
+        let db = Database::try_from_specs(specs).expect("live features are validated");
+        let alloc = Allocation::from_assignment(&db, self.channels, assignment)
+            .expect("assignment tracks the catalogue");
+        Ok((db, alloc))
+    }
+
+    /// Full re-optimization: rebuilds the assignment with DRP-CDS from
+    /// scratch (the offline path), keeping handles stable. Returns the
+    /// cost improvement over the maintained assignment.
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::Empty`] when no items are live. `K > N` keeps
+    /// the maintained assignment (DRP requires non-empty channels) and
+    /// reports zero improvement.
+    pub fn reoptimize(&mut self) -> Result<f64, DynamicError> {
+        let (db, _) = self.snapshot()?;
+        let before = self.cost();
+        let fresh = match crate::DrpCds::new().allocate(&db, self.channels) {
+            Ok(a) => a,
+            Err(AllocError::Infeasible { .. }) => return Ok(0.0),
+            Err(_) => return Ok(0.0),
+        };
+        // Handles iterate in the same order snapshot() used.
+        let handles: Vec<ItemHandle> = self.items.keys().copied().collect();
+        for (pos, h) in handles.iter().enumerate() {
+            let target = fresh.assignment()[pos];
+            let entry = self.items.get_mut(h).expect("live handle");
+            let (w, z, cur) = *entry;
+            if cur != target {
+                entry.2 = target;
+                self.freq[cur] -= w;
+                self.size[cur] -= z;
+                self.freq[target] += w;
+                self.size[target] += z;
+            }
+        }
+        Ok(before - self.cost())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcast_workload::WorkloadBuilder;
+
+    #[test]
+    fn insert_remove_roundtrip_preserves_aggregates() {
+        let mut live = DynamicBroadcast::new(2);
+        let a = live.insert(10.0, 2.0).unwrap();
+        let b = live.insert(5.0, 8.0).unwrap();
+        assert_eq!(live.len(), 2);
+        live.remove(a).unwrap();
+        live.remove(b).unwrap();
+        assert!(live.is_empty());
+        assert!(live.cost().abs() < 1e-12);
+        assert!(live.freq.iter().all(|f| f.abs() < 1e-12));
+        assert!(live.size.iter().all(|z| z.abs() < 1e-12));
+    }
+
+    #[test]
+    fn handles_are_never_reused() {
+        let mut live = DynamicBroadcast::new(2);
+        let a = live.insert(1.0, 1.0).unwrap();
+        live.remove(a).unwrap();
+        let b = live.insert(1.0, 1.0).unwrap();
+        assert_ne!(a, b);
+        assert!(matches!(live.remove(a), Err(DynamicError::UnknownHandle(_))));
+    }
+
+    #[test]
+    fn validation_rejects_bad_features() {
+        let mut live = DynamicBroadcast::new(2);
+        assert!(live.insert(0.0, 1.0).is_err());
+        assert!(live.insert(1.0, f64::NAN).is_err());
+        let h = live.insert(1.0, 1.0).unwrap();
+        assert!(live.update_weight(h, -3.0).is_err());
+    }
+
+    #[test]
+    fn repair_reaches_cds_quality_incrementally() {
+        // Feed a workload item by item; the maintained cost should land
+        // within a few percent of offline DRP-CDS on the same snapshot.
+        use dbcast_model::ChannelAllocator;
+        let db = WorkloadBuilder::new(60).seed(17).build().unwrap();
+        let mut live = DynamicBroadcast::new(5).with_repair_budget(16);
+        for d in db.iter() {
+            live.insert(d.frequency(), d.size()).unwrap();
+        }
+        let (snap_db, snap_alloc) = live.snapshot().unwrap();
+        let offline = crate::DrpCds::new().allocate(&snap_db, 5).unwrap();
+        let online_cost = snap_alloc.total_cost();
+        let offline_cost = offline.total_cost();
+        assert!(
+            online_cost <= offline_cost * 1.10,
+            "online {online_cost} should be within 10% of offline {offline_cost}"
+        );
+    }
+
+    #[test]
+    fn weight_spike_triggers_migration() {
+        let mut live = DynamicBroadcast::new(2).with_repair_budget(32);
+        // A crowd of medium items and one that will spike.
+        let mut handles = Vec::new();
+        for i in 0..20 {
+            handles.push(live.insert(1.0, 1.0 + (i % 5) as f64).unwrap());
+        }
+        let spiker = handles[7];
+        let before_cost = live.cost();
+        live.update_weight(spiker, 200.0).unwrap();
+        // Repair ran; the maintained state should be a local optimum:
+        let stats = live.repair();
+        assert_eq!(stats.moves, 0, "second repair should find nothing");
+        assert!(live.cost() > before_cost); // spike raises cost overall
+    }
+
+    #[test]
+    fn snapshot_matches_internal_aggregates() {
+        let db = WorkloadBuilder::new(30).seed(18).build().unwrap();
+        let offline = {
+            use dbcast_model::ChannelAllocator;
+            crate::DrpCds::new().allocate(&db, 4).unwrap()
+        };
+        let (live, handles) = DynamicBroadcast::from_allocation(&db, &offline).unwrap();
+        assert_eq!(handles.len(), 30);
+        let (snap_db, snap_alloc) = live.snapshot().unwrap();
+        assert_eq!(snap_db.len(), 30);
+        assert!((snap_alloc.total_cost() - live.cost()).abs() < 1e-9);
+        snap_alloc.validate(&snap_db).unwrap();
+    }
+
+    #[test]
+    fn reoptimize_never_increases_cost() {
+        let mut live = DynamicBroadcast::new(4).with_repair_budget(2);
+        let mut state = 5u64;
+        for _ in 0..50 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let w = ((state >> 33) % 100 + 1) as f64;
+            let z = ((state >> 17) % 50 + 1) as f64;
+            live.insert(w, z).unwrap();
+        }
+        let before = live.cost();
+        let gain = live.reoptimize().unwrap();
+        assert!(gain >= -1e-6);
+        assert!((before - live.cost() - gain).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_snapshot_errors() {
+        let live = DynamicBroadcast::new(2);
+        assert!(matches!(live.snapshot(), Err(DynamicError::Empty)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_panics() {
+        let _ = DynamicBroadcast::new(0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Optimal *benefit-ratio-contiguous* partition by dynamic programming.
+//!
+//! DRP restricts itself to groups that are contiguous in the benefit
+//! ratio order and then splits greedily. This module computes the best
+//! partition **within that same restricted family** exactly, in
+//! `O(K · N²)`. It upper-bounds what any DRP-style splitting scheme can
+//! achieve and, compared against [`ExactBnB`](crate::ExactBnB), measures
+//! how much the contiguity restriction itself costs — an ablation the
+//! paper's design implicitly relies on.
+
+use dbcast_model::{AllocError, Allocation, ChannelAllocator, Database, ModelError};
+
+/// Exact DP over benefit-ratio-contiguous partitions.
+///
+/// # Example
+///
+/// ```
+/// use dbcast_baselines::ContiguousDp;
+/// use dbcast_model::ChannelAllocator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let db = dbcast_workload::paper::table2_profile();
+/// let alloc = ContiguousDp::new().allocate(&db, 5)?;
+/// assert_eq!(alloc.channels(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContiguousDp {
+    _private: (),
+}
+
+impl ContiguousDp {
+    /// Creates the DP allocator.
+    pub fn new() -> Self {
+        ContiguousDp { _private: () }
+    }
+}
+
+impl ChannelAllocator for ContiguousDp {
+    fn name(&self) -> &str {
+        "DP(br-contiguous)"
+    }
+
+    fn allocate(&self, db: &Database, channels: usize) -> Result<Allocation, AllocError> {
+        if channels == 0 {
+            return Err(ModelError::ZeroChannels.into());
+        }
+        let n = db.len();
+        if channels > n {
+            return Err(AllocError::Infeasible {
+                reason: format!(
+                    "contiguous DP assigns at least one item per channel: \
+                     {channels} channels > {n} items"
+                ),
+            });
+        }
+        let order = db.ids_by_benefit_ratio_desc();
+        let mut pf = vec![0.0f64; n + 1];
+        let mut pz = vec![0.0f64; n + 1];
+        for (i, id) in order.iter().enumerate() {
+            let d = &db.items()[id.index()];
+            pf[i + 1] = pf[i] + d.frequency();
+            pz[i + 1] = pz[i] + d.size();
+        }
+        let group_cost = |i: usize, j: usize| (pf[j] - pf[i]) * (pz[j] - pz[i]);
+
+        const INF: f64 = f64::INFINITY;
+        let mut dp = vec![vec![INF; n + 1]; channels + 1];
+        let mut back = vec![vec![0usize; n + 1]; channels + 1];
+        dp[0][0] = 0.0;
+        for k in 1..=channels {
+            for j in k..=n {
+                for i in k - 1..j {
+                    let c = dp[k - 1][i] + group_cost(i, j);
+                    if c < dp[k][j] {
+                        dp[k][j] = c;
+                        back[k][j] = i;
+                    }
+                }
+            }
+        }
+
+        let mut assignment = vec![0usize; n];
+        let mut j = n;
+        for k in (1..=channels).rev() {
+            let i = back[k][j];
+            for &id in &order[i..j] {
+                assignment[id.index()] = k - 1;
+            }
+            j = i;
+        }
+        Ok(Allocation::from_assignment(db, channels, assignment)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcast_alloc::Drp;
+    use dbcast_workload::WorkloadBuilder;
+
+    #[test]
+    fn rejects_degenerate_instances() {
+        let db = WorkloadBuilder::new(3).build().unwrap();
+        assert!(ContiguousDp::new().allocate(&db, 0).is_err());
+        assert!(ContiguousDp::new().allocate(&db, 4).is_err());
+    }
+
+    #[test]
+    fn never_worse_than_drp() {
+        // DRP's greedy splits stay within the contiguous family, so the
+        // DP optimum over that family bounds DRP from below.
+        for seed in 0..10 {
+            let db = WorkloadBuilder::new(70).seed(seed).build().unwrap();
+            let dp = ContiguousDp::new().allocate(&db, 6).unwrap().total_cost();
+            let drp = Drp::new().allocate(&db, 6).unwrap().total_cost();
+            assert!(dp <= drp + 1e-9, "seed {seed}: dp {dp} vs drp {drp}");
+        }
+    }
+
+    #[test]
+    fn contiguity_gap_versus_global_optimum_is_small() {
+        use crate::ExactBnB;
+        // The contiguous optimum is usually close to (but not always
+        // equal to) the unrestricted optimum.
+        let mut dp_total = 0.0;
+        let mut opt_total = 0.0;
+        for seed in 0..5 {
+            let db = WorkloadBuilder::new(10).seed(seed).build().unwrap();
+            let dp = ContiguousDp::new().allocate(&db, 3).unwrap().total_cost();
+            let opt = ExactBnB::new().allocate(&db, 3).unwrap().total_cost();
+            assert!(dp >= opt - 1e-9);
+            dp_total += dp;
+            opt_total += opt;
+        }
+        assert!(dp_total <= opt_total * 1.15, "{dp_total} vs {opt_total}");
+    }
+
+    #[test]
+    fn k_equals_n_is_singletons() {
+        let db = WorkloadBuilder::new(8).seed(1).build().unwrap();
+        let alloc = ContiguousDp::new().allocate(&db, 8).unwrap();
+        for s in alloc.all_channel_stats() {
+            assert_eq!(s.items, 1);
+        }
+    }
+}

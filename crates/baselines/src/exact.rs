@@ -1,0 +1,217 @@
+//! Exact global optimum by branch-and-bound — the ground truth against
+//! which every heuristic is validated on small instances.
+
+use dbcast_model::{
+    AllocError, Allocation, ChannelAllocator, CostTracker, Database, ModelError,
+};
+
+/// Exact branch-and-bound search over all `K^N` assignments.
+///
+/// Items are explored largest-first (better early pruning); partial
+/// assignments are pruned as soon as their cost reaches the incumbent,
+/// which is sound because adding an item never decreases `Σ F_i Z_i`.
+/// Channel symmetry is broken by allowing an item only into channels
+/// `0..=used+1`.
+///
+/// Feasible for the sizes used in tests (`N ≤ ~16`); larger instances
+/// are rejected rather than silently burning CPU.
+///
+/// # Example
+///
+/// ```
+/// use dbcast_baselines::ExactBnB;
+/// use dbcast_model::ChannelAllocator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let db = dbcast_workload::WorkloadBuilder::new(8).seed(1).build()?;
+/// let opt = ExactBnB::new().allocate(&db, 3)?;
+/// # let _ = opt;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactBnB {
+    max_items: usize,
+}
+
+impl Default for ExactBnB {
+    fn default() -> Self {
+        ExactBnB { max_items: 16 }
+    }
+}
+
+impl ExactBnB {
+    /// Creates the solver with the default instance-size limit (16).
+    pub fn new() -> Self {
+        ExactBnB::default()
+    }
+
+    /// Raises or lowers the instance-size limit. Runtime is
+    /// exponential; anything beyond ~20 items is impractical.
+    pub fn with_max_items(mut self, limit: usize) -> Self {
+        self.max_items = limit;
+        self
+    }
+}
+
+struct Search<'a> {
+    /// (f, z) sorted by size descending.
+    features: &'a [(f64, f64)],
+    channels: usize,
+    tracker: CostTracker,
+    assignment: Vec<usize>,
+    best_cost: f64,
+    best_assignment: Vec<usize>,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, item: usize, used: usize) {
+        if self.tracker.total_cost() >= self.best_cost {
+            return; // cost only grows from here
+        }
+        if item == self.features.len() {
+            self.best_cost = self.tracker.total_cost();
+            self.best_assignment.copy_from_slice(&self.assignment);
+            return;
+        }
+        let (f, z) = self.features[item];
+        // Symmetry breaking: a fresh channel is interchangeable with any
+        // other fresh channel, so only the first unused one is tried.
+        let limit = (used + 1).min(self.channels);
+        for ch in 0..limit {
+            self.tracker.add(ch, f, z);
+            self.assignment[item] = ch;
+            self.dfs(item + 1, used.max(ch + 1));
+            self.tracker.remove(ch, f, z);
+        }
+    }
+}
+
+impl ChannelAllocator for ExactBnB {
+    fn name(&self) -> &str {
+        "EXACT"
+    }
+
+    fn allocate(&self, db: &Database, channels: usize) -> Result<Allocation, AllocError> {
+        if channels == 0 {
+            return Err(ModelError::ZeroChannels.into());
+        }
+        if db.len() > self.max_items {
+            return Err(AllocError::TooLarge { items: db.len(), limit: self.max_items });
+        }
+        // Largest-first order maximizes early pruning.
+        let mut order: Vec<usize> = (0..db.len()).collect();
+        order.sort_by(|&a, &b| {
+            db.items()[b]
+                .size()
+                .total_cmp(&db.items()[a].size())
+                .then(a.cmp(&b))
+        });
+        let features: Vec<(f64, f64)> = order
+            .iter()
+            .map(|&i| (db.items()[i].frequency(), db.items()[i].size()))
+            .collect();
+        let mut search = Search {
+            features: &features,
+            channels,
+            tracker: CostTracker::new(channels),
+            assignment: vec![0; db.len()],
+            best_cost: f64::INFINITY,
+            best_assignment: vec![0; db.len()],
+        };
+        search.dfs(0, 0);
+        // Map back from search order to item-id order.
+        let mut assignment = vec![0usize; db.len()];
+        for (pos, &item) in order.iter().enumerate() {
+            assignment[item] = search.best_assignment[pos];
+        }
+        Ok(Allocation::from_assignment(db, channels, assignment)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcast_model::{allocation_cost, Database, ItemSpec};
+    use dbcast_workload::WorkloadBuilder;
+
+    /// Exhaustive reference over all K^N assignments.
+    fn exhaustive_optimum(db: &Database, channels: usize) -> f64 {
+        let n = db.len();
+        let mut best = f64::INFINITY;
+        let total = channels.pow(n as u32);
+        for code in 0..total {
+            let mut c = code;
+            let assignment: Vec<usize> = (0..n)
+                .map(|_| {
+                    let ch = c % channels;
+                    c /= channels;
+                    ch
+                })
+                .collect();
+            best = best.min(allocation_cost(db, channels, &assignment).unwrap());
+        }
+        best
+    }
+
+    #[test]
+    fn matches_exhaustive_enumeration() {
+        for seed in 0..5 {
+            let db = WorkloadBuilder::new(7).seed(seed).build().unwrap();
+            for k in 1..=3 {
+                let bnb = ExactBnB::new().allocate(&db, k).unwrap().total_cost();
+                let brute = exhaustive_optimum(&db, k);
+                assert!(
+                    (bnb - brute).abs() < 1e-9,
+                    "seed {seed} k {k}: bnb {bnb} vs brute {brute}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn never_beaten_by_heuristics() {
+        use dbcast_alloc::DrpCds;
+        for seed in 0..5 {
+            let db = WorkloadBuilder::new(10).seed(seed).build().unwrap();
+            let opt = ExactBnB::new().allocate(&db, 4).unwrap().total_cost();
+            let heuristic = DrpCds::new().allocate(&db, 4).unwrap().total_cost();
+            assert!(opt <= heuristic + 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rejects_large_instances() {
+        let db = WorkloadBuilder::new(30).build().unwrap();
+        assert!(matches!(
+            ExactBnB::new().allocate(&db, 3),
+            Err(AllocError::TooLarge { items: 30, limit: 16 })
+        ));
+        // But an explicit limit raise is honored.
+        assert!(ExactBnB::new()
+            .with_max_items(30)
+            .allocate(&WorkloadBuilder::new(12).build().unwrap(), 2)
+            .is_ok());
+    }
+
+    #[test]
+    fn single_channel_is_whole_database() {
+        let db = WorkloadBuilder::new(6).seed(2).build().unwrap();
+        let alloc = ExactBnB::new().allocate(&db, 1).unwrap();
+        let s = db.stats();
+        assert!((alloc.total_cost() - s.total_frequency * s.total_size).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trivial_two_item_split() {
+        let db = Database::try_from_specs(vec![
+            ItemSpec::new(0.9, 10.0),
+            ItemSpec::new(0.1, 1.0),
+        ])
+        .unwrap();
+        let alloc = ExactBnB::new().allocate(&db, 2).unwrap();
+        // Separating them costs 0.9·10 + 0.1·1 = 9.1 < 1.0·11 = 11.
+        assert!((alloc.total_cost() - 9.1).abs() < 1e-9);
+        assert_ne!(alloc.assignment()[0], alloc.assignment()[1]);
+    }
+}

@@ -1,0 +1,76 @@
+//! The flat (round-robin) broadcast program.
+
+use dbcast_model::{AllocError, Allocation, ChannelAllocator, Database, ModelError};
+
+/// Round-robin allocation: item `i` goes to channel `i mod K`.
+///
+/// This is the "flat broadcast program" of the paper's introduction —
+/// items get (roughly) equal appearance frequencies regardless of
+/// popularity or size. It ignores both item features and serves as the
+/// floor every informed algorithm should beat.
+///
+/// # Example
+///
+/// ```
+/// use dbcast_baselines::Flat;
+/// use dbcast_model::ChannelAllocator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let db = dbcast_workload::WorkloadBuilder::new(10).build()?;
+/// let alloc = Flat::new().allocate(&db, 3)?;
+/// assert_eq!(alloc.channels(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flat {
+    _private: (),
+}
+
+impl Flat {
+    /// Creates the flat allocator.
+    pub fn new() -> Self {
+        Flat { _private: () }
+    }
+}
+
+impl ChannelAllocator for Flat {
+    fn name(&self) -> &str {
+        "FLAT"
+    }
+
+    fn allocate(&self, db: &Database, channels: usize) -> Result<Allocation, AllocError> {
+        if channels == 0 {
+            return Err(ModelError::ZeroChannels.into());
+        }
+        let assignment = (0..db.len()).map(|i| i % channels).collect();
+        Ok(Allocation::from_assignment(db, channels, assignment)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcast_workload::WorkloadBuilder;
+
+    #[test]
+    fn distributes_items_evenly() {
+        let db = WorkloadBuilder::new(10).seed(1).build().unwrap();
+        let alloc = Flat::new().allocate(&db, 4).unwrap();
+        let counts: Vec<usize> = alloc.all_channel_stats().iter().map(|s| s.items).collect();
+        assert_eq!(counts, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn rejects_zero_channels() {
+        let db = WorkloadBuilder::new(5).build().unwrap();
+        assert!(Flat::new().allocate(&db, 0).is_err());
+    }
+
+    #[test]
+    fn more_channels_than_items_leaves_empties() {
+        let db = WorkloadBuilder::new(2).build().unwrap();
+        let alloc = Flat::new().allocate(&db, 5).unwrap();
+        assert_eq!(alloc.empty_channels(), 3);
+    }
+}

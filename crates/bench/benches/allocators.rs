@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of every allocator, at the paper's
+//! default operating point (N = 120, K = 6, Φ = 2, θ = 0.8) and across
+//! the K / N axes — the measurement substrate behind Figures 6–7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbcast_alloc::{Cds, Drp, DrpCds};
+use dbcast_baselines::{Flat, Gopt, GoptConfig, Greedy, Vfk};
+use dbcast_model::{ChannelAllocator, Database};
+use dbcast_workload::{SizeDistribution, WorkloadBuilder};
+
+fn workload(n: usize) -> Database {
+    WorkloadBuilder::new(n)
+        .skewness(0.8)
+        .sizes(SizeDistribution::Diversity { phi_max: 2.0 })
+        .seed(42)
+        .build()
+        .expect("valid workload")
+}
+
+fn bench_default_point(c: &mut Criterion) {
+    let db = workload(120);
+    let mut group = c.benchmark_group("allocators_n120_k6");
+    group.bench_function("FLAT", |b| {
+        b.iter(|| Flat::new().allocate(&db, 6).unwrap())
+    });
+    group.bench_function("VF^K", |b| {
+        b.iter(|| Vfk::new().allocate(&db, 6).unwrap())
+    });
+    group.bench_function("GREEDY", |b| {
+        b.iter(|| Greedy::new().allocate(&db, 6).unwrap())
+    });
+    group.bench_function("DRP", |b| {
+        b.iter(|| Drp::new().allocate(&db, 6).unwrap())
+    });
+    group.bench_function("DRP-CDS", |b| {
+        b.iter(|| DrpCds::new().allocate(&db, 6).unwrap())
+    });
+    group.sample_size(10);
+    group.bench_function("GOPT", |b| {
+        let gopt = Gopt::new(GoptConfig {
+            population: 50,
+            max_generations: 100,
+            stagnation_limit: 30,
+            ..GoptConfig::default()
+        });
+        b.iter(|| gopt.allocate(&db, 6).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_drpcds_scaling_channels(c: &mut Criterion) {
+    // Figure 6 shape: execution time vs K.
+    let db = workload(120);
+    let mut group = c.benchmark_group("drpcds_vs_channels");
+    for k in [4usize, 6, 8, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| DrpCds::new().allocate(&db, k).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_drpcds_scaling_items(c: &mut Criterion) {
+    // Figure 7 shape: execution time vs N.
+    let mut group = c.benchmark_group("drpcds_vs_items");
+    for n in [60usize, 120, 180] {
+        let db = workload(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| DrpCds::new().allocate(db, 6).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cds_refinement(c: &mut Criterion) {
+    // CDS alone, starting from DRP's rough allocation.
+    let db = workload(120);
+    let rough = Drp::new().allocate(&db, 6).unwrap();
+    c.bench_function("cds_refine_n120_k6", |b| {
+        b.iter(|| Cds::new().refine(&db, rough.clone()).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_default_point,
+    bench_drpcds_scaling_channels,
+    bench_drpcds_scaling_items,
+    bench_cds_refinement
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks of the extension subsystems:
+//! heterogeneous-bandwidth allocation, greedy replication, air-index
+//! construction, and dynamic catalogue maintenance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbcast_alloc::{DrpCds, DynamicBroadcast};
+use dbcast_hetero::{Bandwidths, HeteroDrpCds};
+use dbcast_index::IndexedProgram;
+use dbcast_model::{BroadcastProgram, ChannelAllocator};
+use dbcast_replication::GreedyReplicator;
+use dbcast_workload::{SizeDistribution, WorkloadBuilder};
+
+fn workload(n: usize) -> dbcast_model::Database {
+    WorkloadBuilder::new(n)
+        .skewness(0.8)
+        .sizes(SizeDistribution::Diversity { phi_max: 2.0 })
+        .seed(7)
+        .build()
+        .expect("valid workload")
+}
+
+fn bench_hetero_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hetero_drp_h");
+    for n in [60usize, 120, 180] {
+        let db = workload(n);
+        let bw = Bandwidths::try_new(vec![40.0, 20.0, 10.0, 5.0, 5.0]).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| HeteroDrpCds::new(bw.clone()).allocate(db).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_replication(c: &mut Criterion) {
+    let db = workload(60);
+    let base = DrpCds::new().allocate(&db, 5).unwrap();
+    c.bench_function("greedy_replication_n60_k5", |b| {
+        b.iter(|| {
+            GreedyReplicator::new()
+                .replicate(&db, base.clone(), 10.0)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_index_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_construction");
+    for n in [60usize, 180] {
+        let db = workload(n);
+        let alloc = DrpCds::new().allocate(&db, 5).unwrap();
+        let program = BroadcastProgram::new(&db, &alloc, 10.0).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &program, |b, p| {
+            b.iter(|| IndexedProgram::with_optimal_segments(p, 1.0, 0.1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dynamic_maintenance(c: &mut Criterion) {
+    // Cost of one insert (greedy placement + budgeted repair) into a
+    // 120-item live catalogue.
+    let db = workload(120);
+    let alloc = DrpCds::new().allocate(&db, 6).unwrap();
+    c.bench_function("dynamic_insert_into_n120", |b| {
+        b.iter_batched(
+            || {
+                DynamicBroadcast::from_allocation(&db, &alloc)
+                    .unwrap()
+                    .0
+                    .with_repair_budget(8)
+            },
+            |mut live| live.insert(0.02, 7.5).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hetero_pipeline,
+    bench_replication,
+    bench_index_construction,
+    bench_dynamic_maintenance
+);
+criterion_main!(benches);

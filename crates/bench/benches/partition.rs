@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of DRP's inner loop: the O(n) optimal
+//! split scan and the cost bookkeeping primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbcast_alloc::best_split;
+use dbcast_model::CostTracker;
+use dbcast_workload::WorkloadBuilder;
+
+fn prefix_sums(features: &[(f64, f64)]) -> (Vec<f64>, Vec<f64>) {
+    let mut pf = vec![0.0];
+    let mut pz = vec![0.0];
+    for &(f, z) in features {
+        pf.push(pf.last().unwrap() + f);
+        pz.push(pz.last().unwrap() + z);
+    }
+    (pf, pz)
+}
+
+fn bench_best_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("best_split");
+    for n in [60usize, 180, 1000, 10_000] {
+        let db = WorkloadBuilder::new(n).seed(1).build().unwrap();
+        let features: Vec<(f64, f64)> = db
+            .ids_by_benefit_ratio_desc()
+            .into_iter()
+            .map(|id| {
+                let d = &db.items()[id.index()];
+                (d.frequency(), d.size())
+            })
+            .collect();
+        let (pf, pz) = prefix_sums(&features);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| best_split(&pf, &pz, 0..n).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_move_reduction(c: &mut Criterion) {
+    // The O(1) Eq. 4 evaluation that CDS performs K²N times per sweep.
+    let mut tracker = CostTracker::new(8);
+    let db = WorkloadBuilder::new(120).seed(2).build().unwrap();
+    for (i, d) in db.iter().enumerate() {
+        tracker.add(i % 8, d.frequency(), d.size());
+    }
+    c.bench_function("move_reduction", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for d in db.iter() {
+                acc += tracker.move_reduction(0, 5, d.frequency(), d.size());
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_best_split, bench_move_reduction);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion micro-benchmarks of the discrete-event simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbcast_alloc::DrpCds;
+use dbcast_model::{BroadcastProgram, ChannelAllocator};
+use dbcast_sim::Simulation;
+use dbcast_workload::{TraceBuilder, WorkloadBuilder};
+
+fn bench_simulation_throughput(c: &mut Criterion) {
+    let db = WorkloadBuilder::new(120).seed(1).build().unwrap();
+    let alloc = DrpCds::new().allocate(&db, 6).unwrap();
+    let program = BroadcastProgram::new(&db, &alloc, 10.0).unwrap();
+
+    let mut group = c.benchmark_group("simulation");
+    for requests in [1_000usize, 10_000, 100_000] {
+        let trace = TraceBuilder::new(&db)
+            .requests(requests)
+            .seed(2)
+            .build()
+            .unwrap();
+        group.throughput(Throughput::Elements(requests as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(requests),
+            &trace,
+            |b, trace| b.iter(|| Simulation::new(&program, trace).run().unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation_throughput);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! The algorithm registry used by the experiment harness.
+
+use dbcast_alloc::{Drp, DrpCds};
+use dbcast_baselines::{ContiguousDp, Flat, Gopt, GoptConfig, Greedy, Vfk};
+use dbcast_model::{AllocError, Allocation, ChannelAllocator, Database};
+use serde::{Deserialize, Serialize};
+
+/// A serializable specification of one allocation algorithm.
+///
+/// The harness works with specs rather than trait objects so that
+/// experiment configurations can be logged, persisted and re-run
+/// bit-for-bit, and so cells can be dispatched across worker threads
+/// without `dyn` plumbing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AlgoSpec {
+    /// Round-robin flat program.
+    Flat,
+    /// Conventional-environment baseline VF^K.
+    Vfk,
+    /// DRP without refinement.
+    Drp,
+    /// The paper's DRP-CDS scheme.
+    DrpCds,
+    /// Benefit-ratio greedy insertion.
+    Greedy,
+    /// Optimal benefit-ratio-contiguous partition (DP).
+    ContiguousDp,
+    /// Genetic global-optimum proxy.
+    Gopt(GoptConfig),
+}
+
+impl AlgoSpec {
+    /// The paper's Figure 2–5 line-up: FLAT, VF^K, DRP, DRP-CDS, GOPT.
+    pub fn paper_lineup() -> Vec<AlgoSpec> {
+        vec![
+            AlgoSpec::Flat,
+            AlgoSpec::Vfk,
+            AlgoSpec::Drp,
+            AlgoSpec::DrpCds,
+            AlgoSpec::Gopt(GoptConfig::default()),
+        ]
+    }
+
+    /// The complexity line-up of Figures 6–7: DRP-CDS vs GOPT.
+    pub fn timing_lineup() -> Vec<AlgoSpec> {
+        vec![AlgoSpec::DrpCds, AlgoSpec::Gopt(GoptConfig::default())]
+    }
+
+    /// The report column name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgoSpec::Flat => "FLAT",
+            AlgoSpec::Vfk => "VF^K",
+            AlgoSpec::Drp => "DRP",
+            AlgoSpec::DrpCds => "DRP-CDS",
+            AlgoSpec::Greedy => "GREEDY",
+            AlgoSpec::ContiguousDp => "DP",
+            AlgoSpec::Gopt(_) => "GOPT",
+        }
+    }
+
+    /// Runs the algorithm on `db` with `channels` channels.
+    ///
+    /// `seed` re-seeds randomized algorithms (GOPT) so that every
+    /// workload cell explores an independent GA trajectory, as the
+    /// paper's per-point averaging implies.
+    ///
+    /// # Errors
+    ///
+    /// Forwards the algorithm's own errors.
+    pub fn allocate(
+        &self,
+        db: &Database,
+        channels: usize,
+        seed: u64,
+    ) -> Result<Allocation, AllocError> {
+        match self {
+            AlgoSpec::Flat => Flat::new().allocate(db, channels),
+            AlgoSpec::Vfk => Vfk::new().allocate(db, channels),
+            AlgoSpec::Drp => Drp::new().allocate(db, channels),
+            AlgoSpec::DrpCds => DrpCds::new().allocate(db, channels),
+            AlgoSpec::Greedy => Greedy::new().allocate(db, channels),
+            AlgoSpec::ContiguousDp => ContiguousDp::new().allocate(db, channels),
+            AlgoSpec::Gopt(cfg) => {
+                Gopt::new(GoptConfig { seed, ..*cfg }).allocate(db, channels)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcast_workload::WorkloadBuilder;
+
+    #[test]
+    fn lineups_have_expected_names() {
+        let names: Vec<&str> = AlgoSpec::paper_lineup().iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["FLAT", "VF^K", "DRP", "DRP-CDS", "GOPT"]);
+        assert_eq!(
+            AlgoSpec::timing_lineup().iter().map(|a| a.name()).collect::<Vec<_>>(),
+            vec!["DRP-CDS", "GOPT"]
+        );
+    }
+
+    #[test]
+    fn every_spec_allocates() {
+        let db = WorkloadBuilder::new(12).seed(1).build().unwrap();
+        for spec in [
+            AlgoSpec::Flat,
+            AlgoSpec::Vfk,
+            AlgoSpec::Drp,
+            AlgoSpec::DrpCds,
+            AlgoSpec::Greedy,
+            AlgoSpec::ContiguousDp,
+            AlgoSpec::Gopt(GoptConfig {
+                population: 20,
+                max_generations: 30,
+                ..GoptConfig::default()
+            }),
+        ] {
+            let alloc = spec.allocate(&db, 3, 7).unwrap();
+            assert_eq!(alloc.channels(), 3);
+            alloc.validate(&db).unwrap();
+        }
+    }
+
+    #[test]
+    fn gopt_seed_is_threaded_through() {
+        let db = WorkloadBuilder::new(15).seed(2).build().unwrap();
+        let cfg = GoptConfig {
+            population: 20,
+            max_generations: 20,
+            polish: false,
+            ..GoptConfig::default()
+        };
+        let spec = AlgoSpec::Gopt(cfg);
+        let a = spec.allocate(&db, 3, 1).unwrap();
+        let b = spec.allocate(&db, 3, 1).unwrap();
+        assert_eq!(a, b); // same seed, same result
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 3: broadcast items N vs average waiting time.
+//!
+//! Usage: `cargo run --release -p dbcast-bench --bin fig3_items [--quick]`
+
+use dbcast_bench::{run_fig3, ExperimentConfig};
+
+fn main() -> std::io::Result<()> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    let md = run_fig3(&config, std::path::Path::new("results"))?;
+    print!("{md}");
+    Ok(())
+}

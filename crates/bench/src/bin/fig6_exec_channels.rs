@@ -1,0 +1,13 @@
+//! Regenerates Figure 6: channel number K vs execution time.
+//!
+//! Usage: `cargo run --release -p dbcast-bench --bin fig6_exec_channels [--quick]`
+
+use dbcast_bench::{run_fig6, ExperimentConfig};
+
+fn main() -> std::io::Result<()> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    let md = run_fig6(&config, std::path::Path::new("results"))?;
+    print!("{md}");
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 7: broadcast items N vs execution time.
+//!
+//! Usage: `cargo run --release -p dbcast-bench --bin fig7_exec_items [--quick]`
+
+use dbcast_bench::{run_fig7, ExperimentConfig};
+
+fn main() -> std::io::Result<()> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    let md = run_fig7(&config, std::path::Path::new("results"))?;
+    print!("{md}");
+    Ok(())
+}

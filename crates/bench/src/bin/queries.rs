@@ -1,0 +1,80 @@
+//! Extension experiment: multi-item query latency per allocator and
+//! per intra-channel ordering.
+//!
+//! Usage: `cargo run --release -p dbcast-bench --bin queries [--quick]`
+
+use dbcast_alloc::DrpCds;
+use dbcast_baselines::{Flat, Vfk};
+use dbcast_bench::{render_markdown, ReportTable};
+use dbcast_model::{BroadcastProgram, ChannelAllocator};
+use dbcast_query::{affinity_order, evaluate, CoAccessMatrix, QueryWorkloadBuilder};
+use dbcast_workload::{SizeDistribution, WorkloadBuilder};
+
+fn main() -> std::io::Result<()> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seeds: u64 = if quick { 2 } else { 5 };
+    let (k, b) = (5usize, 10.0f64);
+
+    let mut table = ReportTable {
+        title: "Multi-item queries: mean latency (s), 1000 arrivals, sizes 1..=4"
+            .to_string(),
+        header: vec![
+            "allocator".into(),
+            "id order".into(),
+            "affinity order".into(),
+            "excess over LB (id)".into(),
+        ],
+        rows: Vec::new(),
+    };
+
+    for (name, algo) in [
+        ("FLAT", &Flat::new() as &dyn ChannelAllocator),
+        ("VF^K", &Vfk::new() as &dyn ChannelAllocator),
+        ("DRP-CDS", &DrpCds::new() as &dyn ChannelAllocator),
+    ] {
+        let mut id_latency = 0.0;
+        let mut affinity_latency = 0.0;
+        let mut excess = 0.0;
+        for seed in 0..seeds {
+            let db = WorkloadBuilder::new(80)
+                .skewness(1.0)
+                .sizes(SizeDistribution::Diversity { phi_max: 1.5 })
+                .seed(seed)
+                .build()
+                .expect("valid parameters");
+            let queries = QueryWorkloadBuilder::new(&db)
+                .queries(60)
+                .max_size(4)
+                .arrivals(1_000, 2.0)
+                .seed(seed + 100)
+                .build();
+            let alloc = algo.allocate(&db, k).expect("feasible");
+
+            let id_program = BroadcastProgram::new(&db, &alloc, b).expect("valid");
+            let id_eval = evaluate(&id_program, &queries).expect("items broadcast");
+            id_latency += id_eval.mean_latency;
+            excess += id_eval.mean_excess_over_bound;
+
+            let matrix = CoAccessMatrix::from_workload(db.len(), &queries);
+            let ordered = affinity_order(&alloc, &matrix);
+            let aff_program =
+                BroadcastProgram::from_overlapping_groups(&db, &ordered, b).expect("valid");
+            affinity_latency += evaluate(&aff_program, &queries)
+                .expect("items broadcast")
+                .mean_latency;
+        }
+        let d = seeds as f64;
+        table.rows.push(vec![
+            name.to_string(),
+            format!("{:.3}", id_latency / d),
+            format!("{:.3}", affinity_latency / d),
+            format!("{:.3}", excess / d),
+        ]);
+    }
+
+    let md = render_markdown(&table);
+    std::fs::create_dir_all("results")?;
+    std::fs::write("results/queries.md", &md)?;
+    print!("{md}");
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! Usage: `cargo run --release -p dbcast-bench --bin run_all [--quick]`
+//!
+//! Writes Markdown + CSV artifacts under `results/`.
+
+use std::path::Path;
+
+use dbcast_bench::{
+    run_fig2, run_fig3, run_fig4, run_fig5, run_fig6, run_fig7, run_sim_validation,
+    run_tables, ExperimentConfig,
+};
+
+fn main() -> std::io::Result<()> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    let dir = Path::new("results");
+
+    eprintln!("[1/8] Tables 2-4 (worked example)");
+    print!("{}", run_tables(dir)?);
+    eprintln!("[2/8] Figure 2 (K vs W_b)");
+    print!("{}", run_fig2(&config, dir)?);
+    eprintln!("[3/8] Figure 3 (N vs W_b)");
+    print!("{}", run_fig3(&config, dir)?);
+    eprintln!("[4/8] Figure 4 (diversity vs W_b)");
+    print!("{}", run_fig4(&config, dir)?);
+    eprintln!("[5/8] Figure 5 (skewness vs W_b)");
+    print!("{}", run_fig5(&config, dir)?);
+    eprintln!("[6/8] Figure 6 (K vs execution time)");
+    print!("{}", run_fig6(&config, dir)?);
+    eprintln!("[7/8] Figure 7 (N vs execution time)");
+    print!("{}", run_fig7(&config, dir)?);
+    eprintln!("[8/8] Simulation validation");
+    print!("{}", run_sim_validation(&config, dir)?);
+    eprintln!("done; artifacts in {}", dir.display());
+    Ok(())
+}

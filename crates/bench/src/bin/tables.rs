@@ -1,0 +1,11 @@
+//! Replays the paper's worked example (Tables 2–4).
+//!
+//! Usage: `cargo run --release -p dbcast-bench --bin tables`
+
+use dbcast_bench::run_tables;
+
+fn main() -> std::io::Result<()> {
+    let md = run_tables(std::path::Path::new("results"))?;
+    print!("{md}");
+    Ok(())
+}

@@ -1,0 +1,178 @@
+//! Experiment configuration: the paper's Table 5 parameter space.
+
+use serde::{Deserialize, Serialize};
+
+/// Which parameter a sweep varies; the others stay at
+/// [`ExperimentConfig`] defaults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SweepAxis {
+    /// Vary the number of channels `K` (Figure 2 / Figure 6).
+    Channels(Vec<usize>),
+    /// Vary the number of items `N` (Figure 3 / Figure 7).
+    Items(Vec<usize>),
+    /// Vary the diversity parameter `Φ` (Figure 4).
+    Diversity(Vec<f64>),
+    /// Vary the skewness parameter `θ` (Figure 5).
+    Skewness(Vec<f64>),
+}
+
+impl SweepAxis {
+    /// The axis label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SweepAxis::Channels(_) => "K",
+            SweepAxis::Items(_) => "N",
+            SweepAxis::Diversity(_) => "Phi",
+            SweepAxis::Skewness(_) => "theta",
+        }
+    }
+
+    /// The numeric x-coordinates of the sweep.
+    pub fn values(&self) -> Vec<f64> {
+        match self {
+            SweepAxis::Channels(v) => v.iter().map(|&x| x as f64).collect(),
+            SweepAxis::Items(v) => v.iter().map(|&x| x as f64).collect(),
+            SweepAxis::Diversity(v) | SweepAxis::Skewness(v) => v.clone(),
+        }
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        match self {
+            SweepAxis::Channels(v) => v.len(),
+            SweepAxis::Items(v) => v.len(),
+            SweepAxis::Diversity(v) | SweepAxis::Skewness(v) => v.len(),
+        }
+    }
+
+    /// Whether the sweep has no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The paper's Figure 2 axis: `K = 4..=10`.
+    pub fn paper_channels() -> Self {
+        SweepAxis::Channels((4..=10).collect())
+    }
+
+    /// The paper's Figure 3 axis: `N = 60..=180` step 20.
+    pub fn paper_items() -> Self {
+        SweepAxis::Items((60..=180).step_by(20).collect())
+    }
+
+    /// The paper's Figure 4 axis: `Φ = 0..=3` step 0.5.
+    pub fn paper_diversity() -> Self {
+        SweepAxis::Diversity((0..=6).map(|i| i as f64 * 0.5).collect())
+    }
+
+    /// The paper's Figure 5 axis: `θ = 0.4..=1.6` step 0.2.
+    pub fn paper_skewness() -> Self {
+        SweepAxis::Skewness((0..=6).map(|i| 0.4 + i as f64 * 0.2).collect())
+    }
+}
+
+/// Fixed parameters of an experiment (the paper's Table 5 defaults).
+///
+/// The paper fixes one set of "other" parameters per figure without
+/// stating them; we use the midpoints `N = 120`, `K = 6`, `Φ = 2`,
+/// `θ = 0.8` and record that choice in EXPERIMENTS.md.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Number of broadcast items `N` when not swept.
+    pub items: usize,
+    /// Number of channels `K` when not swept.
+    pub channels: usize,
+    /// Diversity parameter `Φ` when not swept.
+    pub diversity: f64,
+    /// Skewness parameter `θ` when not swept.
+    pub skewness: f64,
+    /// Channel bandwidth in size units per second (Table 5: 10).
+    pub bandwidth: f64,
+    /// Workload seeds to average over per sweep point.
+    pub seeds: Vec<u64>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            items: 120,
+            channels: 6,
+            diversity: 2.0,
+            skewness: 0.8,
+            bandwidth: 10.0,
+            seeds: (0..20).collect(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A cheaper configuration for smoke tests and CI (fewer seeds).
+    pub fn quick() -> Self {
+        ExperimentConfig { seeds: (0..3).collect(), ..ExperimentConfig::default() }
+    }
+
+    /// Resolves the effective `(N, K, Φ, θ)` at a sweep point.
+    pub fn at_point(&self, axis: &SweepAxis, index: usize) -> (usize, usize, f64, f64) {
+        let mut n = self.items;
+        let mut k = self.channels;
+        let mut phi = self.diversity;
+        let mut theta = self.skewness;
+        match axis {
+            SweepAxis::Channels(v) => k = v[index],
+            SweepAxis::Items(v) => n = v[index],
+            SweepAxis::Diversity(v) => phi = v[index],
+            SweepAxis::Skewness(v) => theta = v[index],
+        }
+        (n, k, phi, theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_axes_match_table5() {
+        assert_eq!(SweepAxis::paper_channels().values(), vec![4., 5., 6., 7., 8., 9., 10.]);
+        assert_eq!(
+            SweepAxis::paper_items().values(),
+            vec![60., 80., 100., 120., 140., 160., 180.]
+        );
+        assert_eq!(
+            SweepAxis::paper_diversity().values(),
+            vec![0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
+        );
+        let sk = SweepAxis::paper_skewness().values();
+        assert_eq!(sk.len(), 7);
+        assert!((sk[0] - 0.4).abs() < 1e-12 && (sk[6] - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn at_point_overrides_only_the_axis() {
+        let cfg = ExperimentConfig::default();
+        let axis = SweepAxis::paper_channels();
+        let (n, k, phi, theta) = cfg.at_point(&axis, 0);
+        assert_eq!((n, k), (120, 4));
+        assert_eq!((phi, theta), (2.0, 0.8));
+
+        let axis = SweepAxis::paper_diversity();
+        let (n, k, phi, _) = cfg.at_point(&axis, 6);
+        assert_eq!((n, k), (120, 6));
+        assert_eq!(phi, 3.0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SweepAxis::paper_channels().label(), "K");
+        assert_eq!(SweepAxis::paper_items().label(), "N");
+        assert_eq!(SweepAxis::paper_diversity().label(), "Phi");
+        assert_eq!(SweepAxis::paper_skewness().label(), "theta");
+    }
+
+    #[test]
+    fn default_matches_table5_bandwidth() {
+        assert_eq!(ExperimentConfig::default().bandwidth, 10.0);
+        assert_eq!(ExperimentConfig::default().seeds.len(), 20);
+        assert_eq!(ExperimentConfig::quick().seeds.len(), 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! Execution-time measurement behind Figures 6–7.
+
+use std::time::Instant;
+
+use dbcast_workload::{SizeDistribution, WorkloadBuilder};
+use serde::{Deserialize, Serialize};
+
+use crate::algos::AlgoSpec;
+use crate::config::{ExperimentConfig, SweepAxis};
+
+/// Mean execution time of each algorithm at one sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingPoint {
+    /// The x-coordinate (K or N).
+    pub x: f64,
+    /// `(algorithm name, mean wall-clock milliseconds)` in registry
+    /// order.
+    pub algos: Vec<(String, f64)>,
+}
+
+/// A completed timing sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingResult {
+    /// Axis label.
+    pub axis: String,
+    /// Points in axis order.
+    pub points: Vec<TimingPoint>,
+}
+
+/// Measures mean wall-clock execution time per algorithm per point.
+///
+/// Unlike [`run_sweep`](crate::run_sweep) this runs **serially** —
+/// concurrent cells would contend for cores and corrupt the
+/// measurements. The workloads are identical to the waiting-time
+/// sweeps (same seeds), so Figures 2/6 and 3/7 describe the same runs,
+/// mirroring the paper.
+///
+/// # Panics
+///
+/// Panics on an empty axis, algorithm list, or seed list.
+pub fn run_timing_sweep(
+    config: &ExperimentConfig,
+    axis: &SweepAxis,
+    algos: &[AlgoSpec],
+) -> TimingResult {
+    assert!(!axis.is_empty(), "sweep axis must have points");
+    assert!(!algos.is_empty(), "need at least one algorithm");
+    assert!(!config.seeds.is_empty(), "need at least one seed");
+
+    let xs = axis.values();
+    let mut points = Vec::with_capacity(axis.len());
+    for (p, &x) in xs.iter().enumerate() {
+        let (n, k, phi, theta) = config.at_point(axis, p);
+        let mut totals = vec![0.0f64; algos.len()];
+        for &seed in &config.seeds {
+            let db = WorkloadBuilder::new(n)
+                .skewness(theta)
+                .sizes(SizeDistribution::Diversity { phi_max: phi })
+                .seed(seed)
+                .build()
+                .expect("paper parameter space is valid");
+            for (a, spec) in algos.iter().enumerate() {
+                let start = Instant::now();
+                let alloc = spec.allocate(&db, k, seed).expect("feasible instance");
+                let elapsed = start.elapsed().as_secs_f64() * 1e3;
+                // Keep the allocation alive past the timer so the work
+                // cannot be optimized away.
+                std::hint::black_box(&alloc);
+                totals[a] += elapsed;
+            }
+        }
+        let denom = config.seeds.len() as f64;
+        points.push(TimingPoint {
+            x,
+            algos: algos
+                .iter()
+                .zip(&totals)
+                .map(|(spec, &t)| (spec.name().to_string(), t / denom))
+                .collect(),
+        });
+    }
+    TimingResult { axis: axis.label().to_string(), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcast_baselines::GoptConfig;
+
+    #[test]
+    fn timing_shape_and_positivity() {
+        let cfg = ExperimentConfig {
+            items: 15,
+            channels: 3,
+            seeds: vec![0],
+            ..ExperimentConfig::default()
+        };
+        let axis = SweepAxis::Channels(vec![2, 3]);
+        let result = run_timing_sweep(&cfg, &axis, &[AlgoSpec::Drp, AlgoSpec::DrpCds]);
+        assert_eq!(result.points.len(), 2);
+        for p in &result.points {
+            for (name, ms) in &p.algos {
+                assert!(*ms >= 0.0, "{name} took {ms} ms");
+            }
+        }
+    }
+
+    #[test]
+    fn gopt_is_slower_than_drpcds() {
+        // The core claim of Figures 6–7.
+        let cfg = ExperimentConfig {
+            items: 40,
+            channels: 4,
+            seeds: vec![0, 1],
+            ..ExperimentConfig::default()
+        };
+        let axis = SweepAxis::Channels(vec![4]);
+        let gopt = AlgoSpec::Gopt(GoptConfig {
+            population: 60,
+            max_generations: 100,
+            ..GoptConfig::default()
+        });
+        let result = run_timing_sweep(&cfg, &axis, &[AlgoSpec::DrpCds, gopt]);
+        let p = &result.points[0];
+        let drpcds_ms = p.algos[0].1;
+        let gopt_ms = p.algos[1].1;
+        assert!(
+            gopt_ms > drpcds_ms,
+            "GOPT ({gopt_ms} ms) should dwarf DRP-CDS ({drpcds_ms} ms)"
+        );
+    }
+}

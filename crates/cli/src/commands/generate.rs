@@ -1,0 +1,27 @@
+//! `dbcast generate` — create a workload and save it as JSON.
+
+use crate::args::Args;
+use crate::commands::CliError;
+
+/// Generates a workload database and writes it to `--out` (or stdout).
+///
+/// Options: `--items N` (default 120), `--theta X` (0.8), `--phi X` (2),
+/// `--seed S` (0), `--out PATH`.
+///
+/// # Errors
+///
+/// Workload/parameter errors and filesystem errors.
+pub fn run_generate(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
+    let db = crate::commands::load_or_generate(args)?;
+    match args.opt::<String>("out")? {
+        Some(path) => {
+            dbcast_workload::save_database(&db, &path)?;
+            writeln!(out, "wrote {} items to {path}", db.len())?;
+        }
+        None => {
+            dbcast_workload::save_database_to_writer(&db, &mut *out)?;
+            writeln!(out)?;
+        }
+    }
+    Ok(())
+}

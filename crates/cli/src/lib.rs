@@ -1,0 +1,8 @@
+//! Library surface of the `dbcast` CLI: argument parsing and command
+//! implementations, exposed so integration tests can drive commands
+//! without spawning processes.
+
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;

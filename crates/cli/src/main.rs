@@ -1,0 +1,80 @@
+//! `dbcast` — command-line front end to the diverse data broadcasting
+//! workspace.
+//!
+//! ```text
+//! dbcast generate  --items 120 --theta 0.8 --phi 2 --seed 0 --out db.json
+//! dbcast allocate  --db db.json --channels 6 --algo drp-cds
+//! dbcast evaluate  --db db.json --channels 6
+//! dbcast simulate  --db db.json --channels 6 --requests 10000 --rate 10
+//! dbcast paper-example --trace
+//! ```
+
+use dbcast_cli::args::Args;
+use dbcast_cli::commands::{self, CliError};
+
+const USAGE: &str = "\
+dbcast — diverse data broadcasting channel allocation (ICDCS 2005 reproduction)
+
+USAGE:
+    dbcast <COMMAND> [OPTIONS]
+
+COMMANDS:
+    generate        Generate a workload database (JSON)
+    allocate        Allocate a database onto K channels with one algorithm
+    evaluate        Compare all algorithms on one workload
+    simulate        Run the discrete-event broadcast simulator
+    paper-example   Replay the paper's Tables 2-4 worked example
+    sweep           Run one of the paper's parameter sweeps
+    index           (1, m) air-indexing report (access/tuning/energy)
+    replicate       Greedy replication on top of an allocation
+
+COMMON OPTIONS:
+    --db PATH         Load a workload from JSON (otherwise one is generated)
+    --items N         Items to generate            [default: 120]
+    --theta X         Zipf skewness                [default: 0.8]
+    --phi X           Diversity parameter          [default: 2.0]
+    --seed S          RNG seed                     [default: 0]
+    --channels K      Broadcast channels           [default: 6]
+    --bandwidth B     Size units per second        [default: 10]
+    --algo NAME       flat|vfk|greedy|drp|drp-cds|dp|gopt [default: drp-cds]
+
+COMMAND-SPECIFIC:
+    generate:  --out PATH     write JSON here instead of stdout
+    allocate:  --json         emit the allocation as JSON
+    simulate:  --requests R   number of requests   [default: 10000]
+               --rate L       arrivals per second  [default: 10]
+    paper-example: --trace    print every DRP/CDS iteration
+    sweep:     --axis A       k | n | phi | theta  [default: k]
+               --seeds S      average over S seeds
+               --quick        3 seeds instead of 20
+";
+
+fn run() -> Result<(), CliError> {
+    let args = Args::parse(std::env::args().skip(1))?;
+    let mut stdout = std::io::stdout().lock();
+    if args.switch("help") {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    match args.command() {
+        Some("generate") => commands::run_generate(&args, &mut stdout),
+        Some("allocate") => commands::run_allocate(&args, &mut stdout),
+        Some("evaluate") => commands::run_evaluate(&args, &mut stdout),
+        Some("simulate") => commands::run_simulate(&args, &mut stdout),
+        Some("paper-example") => commands::run_paper_example(&args, &mut stdout),
+        Some("sweep") => commands::run_sweep_cmd(&args, &mut stdout),
+        Some("index") => commands::run_index(&args, &mut stdout),
+        Some("replicate") => commands::run_replicate(&args, &mut stdout),
+        _ => {
+            print!("{USAGE}");
+            Ok(())
+        }
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,93 @@
+//! The square-root rule analytics.
+
+/// Flat-cycle expected probe time `(Σf)(Σz) / (2b)` for one channel
+/// broadcasting each item exactly once per cycle — the per-channel term
+/// of the ICDCS 2005 cost model.
+///
+/// # Panics
+///
+/// Panics on a non-positive bandwidth or an empty item list.
+pub fn flat_probe_time(items: &[(f64, f64)], bandwidth: f64) -> f64 {
+    validate(items, bandwidth);
+    let f: f64 = items.iter().map(|i| i.0).sum();
+    let z: f64 = items.iter().map(|i| i.1).sum();
+    f * z / (2.0 * bandwidth)
+}
+
+/// The Ammar–Wong lower bound on expected probe time over *all*
+/// schedules of one channel: `(Σ sqrt(f_i z_i))² / (2b)`, achieved when
+/// item `i` recurs with spacing proportional to `sqrt(z_i / f_i)`.
+///
+/// Never exceeds [`flat_probe_time`] (Cauchy–Schwarz), with equality
+/// iff all items share one benefit ratio.
+///
+/// # Panics
+///
+/// Panics on a non-positive bandwidth or an empty item list.
+pub fn sqrt_rule_probe_bound(items: &[(f64, f64)], bandwidth: f64) -> f64 {
+    validate(items, bandwidth);
+    let s: f64 = items.iter().map(|&(f, z)| (f * z).sqrt()).sum();
+    s * s / (2.0 * bandwidth)
+}
+
+fn validate(items: &[(f64, f64)], bandwidth: f64) {
+    assert!(!items.is_empty(), "at least one item required");
+    assert!(
+        bandwidth.is_finite() && bandwidth > 0.0,
+        "bandwidth must be positive"
+    );
+    assert!(
+        items.iter().all(|&(f, z)| f > 0.0 && z > 0.0),
+        "item features must be positive"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_never_exceeds_flat() {
+        let cases = [
+            vec![(0.5, 1.0), (0.5, 1.0)],
+            vec![(0.9, 1.0), (0.1, 100.0)],
+            vec![(0.3, 2.0), (0.3, 7.0), (0.4, 0.5)],
+        ];
+        for items in cases {
+            assert!(
+                sqrt_rule_probe_bound(&items, 10.0) <= flat_probe_time(&items, 10.0) + 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn equality_iff_equal_benefit_ratio() {
+        // All br equal: f/z constant.
+        let equal = vec![(0.2, 2.0), (0.3, 3.0), (0.5, 5.0)];
+        let lb = sqrt_rule_probe_bound(&equal, 10.0);
+        let flat = flat_probe_time(&equal, 10.0);
+        assert!((lb - flat).abs() < 1e-12, "{lb} vs {flat}");
+
+        let skewed = vec![(0.9, 1.0), (0.1, 10.0)];
+        assert!(sqrt_rule_probe_bound(&skewed, 10.0) < flat_probe_time(&skewed, 10.0) - 1e-6);
+    }
+
+    #[test]
+    fn single_item_degenerates_to_half_cycle() {
+        let items = vec![(1.0, 8.0)];
+        assert!((flat_probe_time(&items, 10.0) - 0.4).abs() < 1e-12);
+        assert!((sqrt_rule_probe_bound(&items, 10.0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        let _ = flat_probe_time(&[(1.0, 1.0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn empty_items_panic() {
+        let _ = sqrt_rule_probe_bound(&[], 10.0);
+    }
+}

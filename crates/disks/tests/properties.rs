@@ -1,0 +1,88 @@
+//! Property-based tests of broadcast-disk scheduling.
+
+use dbcast_disks::{flat_probe_time, sqrt_rule_probe_bound, OnlineScheduler};
+use dbcast_model::ItemId;
+use proptest::prelude::*;
+
+fn items_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.01f64..1.0, 0.1f64..20.0), 1..15).prop_map(|mut v| {
+        // Normalize frequencies like a real demand profile.
+        let total: f64 = v.iter().map(|i| i.0).sum();
+        for i in &mut v {
+            i.0 /= total;
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sqrt_bound_never_exceeds_flat(items in items_strategy(), b in 1.0f64..100.0) {
+        prop_assert!(sqrt_rule_probe_bound(&items, b) <= flat_probe_time(&items, b) + 1e-9);
+    }
+
+    #[test]
+    fn schedule_is_gapless_and_complete(items in items_strategy(), seedish in 10.0f64..60.0) {
+        let s = OnlineScheduler::new(&items, 10.0).unwrap().generate(seedish * 4.0);
+        let mut prev = 0.0;
+        for e in s.entries() {
+            prop_assert!((e.start - prev).abs() < 1e-9, "gap at {}", e.start);
+            prop_assert!(e.end > e.start);
+            prev = e.end;
+        }
+        // Every item appears at least once on a long enough horizon.
+        let max_spacing_items = items.len() as f64 * 20.0; // generous
+        if seedish * 4.0 > max_spacing_items {
+            for i in 0..items.len() {
+                prop_assert!(s.appearances(ItemId::new(i)) > 0, "item {i} never aired");
+            }
+        }
+    }
+
+    #[test]
+    fn measured_wait_is_bounded_by_theory(items in items_strategy()) {
+        let b = 10.0;
+        // Size the horizon to the *largest* optimal spacing, so the
+        // sampling window never truncates the rare items' waits (the
+        // finite-horizon lookup skips requests whose item does not
+        // reappear, which would otherwise bias the mean downward).
+        let c: f64 = items.iter().map(|&(f, z)| z / (b * (z / f).sqrt())).sum();
+        let max_spacing = items
+            .iter()
+            .map(|&(f, z)| c * (z / f).sqrt())
+            .fold(0.0, f64::max);
+        let horizon = (max_spacing * 60.0).max(200.0);
+        let s = OnlineScheduler::new(&items, b).unwrap().generate(horizon);
+        let download: f64 = items.iter().map(|&(f, z)| f * z / b).sum();
+        let measured =
+            s.mean_waiting_time(&items, horizon - 2.0 * max_spacing) - download;
+        let lb = sqrt_rule_probe_bound(&items, b);
+        // The realized schedule cannot beat the bound beyond sampling
+        // noise, and a sane scheduler stays within 2x of it.
+        prop_assert!(measured >= lb * 0.85, "measured {measured} below bound {lb}");
+        prop_assert!(measured <= lb * 2.0 + 0.5, "measured {measured} far above bound {lb}");
+    }
+
+    #[test]
+    fn appearance_rates_track_sqrt_of_benefit(items in items_strategy()) {
+        prop_assume!(items.len() >= 2);
+        let b = 10.0;
+        let horizon = 2_000.0;
+        let s = OnlineScheduler::new(&items, b).unwrap().generate(horizon);
+        // Compare the two extreme items' appearance ratio with theory.
+        let rate = |i: usize| (items[i].0 / items[i].1).sqrt();
+        let mut idx: Vec<usize> = (0..items.len()).collect();
+        idx.sort_by(|&a, &c| rate(c).total_cmp(&rate(a)));
+        let (hot, cold) = (idx[0], *idx.last().unwrap());
+        let expected = rate(hot) / rate(cold);
+        prop_assume!(expected > 2.0); // only meaningful with real skew
+        let got = s.appearances(ItemId::new(hot)) as f64
+            / s.appearances(ItemId::new(cold)).max(1) as f64;
+        prop_assert!(
+            got > expected * 0.5 && got < expected * 2.0,
+            "appearance ratio {got} vs theoretical {expected}"
+        );
+    }
+}

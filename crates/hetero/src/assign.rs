@@ -1,0 +1,153 @@
+//! Optimal group→channel assignment for heterogeneous bandwidths.
+//!
+//! For a fixed grouping, placing group `g` on channel `i` costs
+//! `a_g / b_i` with load `a_g = F_g·Z_g / 2 + S_g` — a product of a
+//! group term and a channel term. The assignment problem
+//! `min_σ Σ a_{σ(i)} / b_i` is therefore solved exactly by the
+//! **rearrangement inequality**: pair the largest load with the largest
+//! bandwidth, the second largest with the second largest, and so on.
+//! No Hungarian machinery needed.
+
+use crate::model::Bandwidths;
+
+/// Group load: everything about a group that its channel divides.
+fn load(frequency: f64, size: f64, fz: f64) -> f64 {
+    frequency * size / 2.0 + fz
+}
+
+/// Computes the cost-minimizing assignment of groups to channels.
+///
+/// `groups[g] = (F_g, Z_g, S_g)` — aggregate frequency, aggregate size
+/// and `Σ f·z` of group `g`. Returns `perm` with `perm[g] = channel`
+/// such that `Σ_g load(g) / b_perm[g]` is minimal over all bijections.
+///
+/// # Panics
+///
+/// Panics if `groups.len() != bw.channels()`.
+///
+/// # Example
+///
+/// ```
+/// use dbcast_hetero::{assign_groups, Bandwidths};
+/// let bw = Bandwidths::try_new(vec![10.0, 40.0]).unwrap();
+/// // Group 0 is "heavier" (larger load) than group 1.
+/// let groups = [(0.8, 10.0, 5.0), (0.2, 2.0, 0.3)];
+/// let perm = assign_groups(&groups, &bw);
+/// assert_eq!(perm, vec![1, 0]); // heavy group rides the 40-unit channel
+/// ```
+pub fn assign_groups(groups: &[(f64, f64, f64)], bw: &Bandwidths) -> Vec<usize> {
+    assert_eq!(
+        groups.len(),
+        bw.channels(),
+        "one group per channel is required"
+    );
+    let mut group_order: Vec<usize> = (0..groups.len()).collect();
+    group_order.sort_by(|&a, &b| {
+        let la = load(groups[a].0, groups[a].1, groups[a].2);
+        let lb = load(groups[b].0, groups[b].1, groups[b].2);
+        lb.total_cmp(&la).then(a.cmp(&b))
+    });
+    let mut channel_order: Vec<usize> = (0..bw.channels()).collect();
+    channel_order.sort_by(|&a, &b| bw.get(b).total_cmp(&bw.get(a)).then(a.cmp(&b)));
+
+    let mut perm = vec![0usize; groups.len()];
+    for (g, c) in group_order.into_iter().zip(channel_order) {
+        perm[g] = c;
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(groups: &[(f64, f64, f64)], bw: &Bandwidths) -> f64 {
+        // Heap's algorithm over all permutations (groups.len() <= 6).
+        fn heaps(k: usize, arr: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+            if k <= 1 {
+                out.push(arr.clone());
+                return;
+            }
+            for i in 0..k {
+                heaps(k - 1, arr, out);
+                if k.is_multiple_of(2) {
+                    arr.swap(i, k - 1);
+                } else {
+                    arr.swap(0, k - 1);
+                }
+            }
+        }
+        let n = groups.len();
+        let mut arr: Vec<usize> = (0..n).collect();
+        let mut perms = Vec::new();
+        heaps(n, &mut arr, &mut perms);
+        perms
+            .into_iter()
+            .map(|perm| {
+                groups
+                    .iter()
+                    .zip(&perm)
+                    .map(|(&(f, z, s), &c)| load(f, z, s) / bw.get(c))
+                    .sum::<f64>()
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn cost_of(groups: &[(f64, f64, f64)], bw: &Bandwidths, perm: &[usize]) -> f64 {
+        groups
+            .iter()
+            .zip(perm)
+            .map(|(&(f, z, s), &c)| load(f, z, s) / bw.get(c))
+            .sum()
+    }
+
+    #[test]
+    fn assignment_is_a_permutation() {
+        let bw = Bandwidths::try_new(vec![5.0, 20.0, 10.0]).unwrap();
+        let groups = [(0.5, 8.0, 3.0), (0.3, 2.0, 0.5), (0.2, 30.0, 4.0)];
+        let mut perm = assign_groups(&groups, &bw);
+        perm.sort_unstable();
+        assert_eq!(perm, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / u32::MAX as f64 + 0.05
+        };
+        for k in 2..=6 {
+            for _ in 0..20 {
+                let groups: Vec<(f64, f64, f64)> =
+                    (0..k).map(|_| (next(), next() * 20.0, next() * 5.0)).collect();
+                let bw =
+                    Bandwidths::try_new((0..k).map(|_| next() * 30.0).collect()).unwrap();
+                let perm = assign_groups(&groups, &bw);
+                let got = cost_of(&groups, &bw, &perm);
+                let best = brute_force(&groups, &bw);
+                assert!(
+                    (got - best).abs() < 1e-9,
+                    "k = {k}: rearrangement {got} vs brute force {best}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_bandwidths_make_assignment_irrelevant() {
+        let bw = Bandwidths::uniform(3, 10.0).unwrap();
+        let groups = [(0.5, 8.0, 3.0), (0.3, 2.0, 0.5), (0.2, 30.0, 4.0)];
+        let perm = assign_groups(&groups, &bw);
+        let identity = [0usize, 1, 2];
+        assert!((cost_of(&groups, &bw, &perm) - cost_of(&groups, &bw, &identity)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one group per channel")]
+    fn mismatched_lengths_panic() {
+        let bw = Bandwidths::uniform(2, 10.0).unwrap();
+        let groups = [(0.5, 8.0, 3.0)];
+        let _ = assign_groups(&groups, &bw);
+    }
+}

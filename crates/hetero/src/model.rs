@@ -1,0 +1,328 @@
+//! The generalized analytical model for heterogeneous bandwidths.
+
+use dbcast_model::{Allocation, Database, ModelError};
+use serde::{Deserialize, Serialize};
+
+/// A validated vector of per-channel bandwidths (size units / second).
+///
+/// # Example
+///
+/// ```
+/// use dbcast_hetero::Bandwidths;
+/// let bw = Bandwidths::try_new(vec![20.0, 10.0]).unwrap();
+/// assert_eq!(bw.channels(), 2);
+/// assert_eq!(bw.get(0), 20.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bandwidths {
+    values: Vec<f64>,
+}
+
+impl Bandwidths {
+    /// Validates and wraps per-channel bandwidths.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::ZeroChannels`] for an empty vector;
+    /// [`ModelError::InvalidBandwidth`] for any non-finite or
+    /// non-positive entry.
+    pub fn try_new(values: Vec<f64>) -> Result<Self, ModelError> {
+        if values.is_empty() {
+            return Err(ModelError::ZeroChannels);
+        }
+        for &b in &values {
+            if !b.is_finite() || b <= 0.0 {
+                return Err(ModelError::InvalidBandwidth { value: b });
+            }
+        }
+        Ok(Bandwidths { values })
+    }
+
+    /// A homogeneous system: `channels` channels of bandwidth `b`.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Bandwidths::try_new`].
+    pub fn uniform(channels: usize, b: f64) -> Result<Self, ModelError> {
+        Bandwidths::try_new(vec![b; channels])
+    }
+
+    /// Number of channels `K`.
+    pub fn channels(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Bandwidth of channel `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn get(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// All bandwidths, indexed by channel.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Expected waiting time `W_b` under per-channel bandwidths:
+/// `Σ_i [F_i Z_i / (2 b_i) + S_i / b_i]` with `S_i = Σ_{j∈i} f_j z_j`.
+///
+/// Reduces to the paper's Eq. 2 when all bandwidths are equal.
+///
+/// # Errors
+///
+/// [`ModelError::AssignmentLength`] if `alloc` does not cover `db`;
+/// [`ModelError::ChannelOutOfRange`] if the allocation has a different
+/// channel count than `bw`.
+///
+/// # Example
+///
+/// ```
+/// use dbcast_hetero::{hetero_waiting_time, Bandwidths};
+/// use dbcast_model::{average_waiting_time, Allocation, Database, ItemSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let db = Database::try_from_specs(vec![
+///     ItemSpec::new(0.7, 2.0),
+///     ItemSpec::new(0.3, 6.0),
+/// ])?;
+/// let alloc = Allocation::from_assignment(&db, 2, vec![0, 1])?;
+/// let bw = Bandwidths::uniform(2, 10.0)?;
+/// let hetero = hetero_waiting_time(&db, &alloc, &bw)?;
+/// let homo = average_waiting_time(&db, &alloc, 10.0)?.total();
+/// assert!((hetero - homo).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn hetero_waiting_time(
+    db: &Database,
+    alloc: &Allocation,
+    bw: &Bandwidths,
+) -> Result<f64, ModelError> {
+    if alloc.items() != db.len() {
+        return Err(ModelError::AssignmentLength { expected: db.len(), actual: alloc.items() });
+    }
+    if alloc.channels() != bw.channels() {
+        return Err(ModelError::ChannelOutOfRange {
+            channel: alloc.channels(),
+            channels: bw.channels(),
+        });
+    }
+    let tracker = HeteroTracker::from_allocation(db, alloc, bw.clone());
+    Ok(tracker.total_cost())
+}
+
+/// Incremental per-channel `(F_i, Z_i, S_i)` bookkeeping under
+/// heterogeneous bandwidths, with the O(1) generalized move delta.
+///
+/// `total_cost` *is* the expected waiting time in seconds (there is no
+/// allocation-independent remainder in the heterogeneous model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeteroTracker {
+    bw: Bandwidths,
+    freq: Vec<f64>,
+    size: Vec<f64>,
+    /// `S_i = Σ f_j z_j` per channel.
+    fz: Vec<f64>,
+    items: Vec<usize>,
+}
+
+impl HeteroTracker {
+    /// Creates an empty tracker for the given channels.
+    pub fn new(bw: Bandwidths) -> Self {
+        let k = bw.channels();
+        HeteroTracker {
+            bw,
+            freq: vec![0.0; k],
+            size: vec![0.0; k],
+            fz: vec![0.0; k],
+            items: vec![0; k],
+        }
+    }
+
+    /// Builds a tracker from an existing allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alloc` and `bw` disagree on the channel count or the
+    /// allocation does not cover `db` (callers validate first; see
+    /// [`hetero_waiting_time`]).
+    pub fn from_allocation(db: &Database, alloc: &Allocation, bw: Bandwidths) -> Self {
+        assert_eq!(alloc.channels(), bw.channels());
+        assert_eq!(alloc.items(), db.len());
+        let mut t = HeteroTracker::new(bw);
+        for (item, &ch) in alloc.assignment().iter().enumerate() {
+            let d = &db.items()[item];
+            t.add(ch, d.frequency(), d.size());
+        }
+        t
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.freq.len()
+    }
+
+    /// Adds an item with features `(f, z)` to `channel`.
+    pub fn add(&mut self, channel: usize, f: f64, z: f64) {
+        self.freq[channel] += f;
+        self.size[channel] += z;
+        self.fz[channel] += f * z;
+        self.items[channel] += 1;
+    }
+
+    /// Removes an item with features `(f, z)` from `channel`.
+    pub fn remove(&mut self, channel: usize, f: f64, z: f64) {
+        debug_assert!(self.items[channel] > 0);
+        self.freq[channel] -= f;
+        self.size[channel] -= z;
+        self.fz[channel] -= f * z;
+        self.items[channel] -= 1;
+    }
+
+    /// Moves an item between channels.
+    pub fn relocate(&mut self, from: usize, to: usize, f: f64, z: f64) {
+        if from == to {
+            return;
+        }
+        self.remove(from, f, z);
+        self.add(to, f, z);
+    }
+
+    /// Cost (= expected waiting-time contribution, seconds) of one
+    /// channel: `F_i Z_i / (2 b_i) + S_i / b_i`.
+    pub fn channel_cost(&self, i: usize) -> f64 {
+        let b = self.bw.get(i);
+        self.freq[i] * self.size[i] / (2.0 * b) + self.fz[i] / b
+    }
+
+    /// Total cost `W_b` in seconds.
+    pub fn total_cost(&self) -> f64 {
+        (0..self.channels()).map(|i| self.channel_cost(i)).sum()
+    }
+
+    /// The waiting-time reduction of moving an item with features
+    /// `(f, z)` from channel `p` to channel `q`, computed in O(1).
+    /// Positive values mean the move helps.
+    pub fn move_reduction(&self, p: usize, q: usize, f: f64, z: f64) -> f64 {
+        if p == q {
+            return 0.0;
+        }
+        let (bp, bq) = (self.bw.get(p), self.bw.get(q));
+        let before = self.channel_cost(p) + self.channel_cost(q);
+        let after_p =
+            (self.freq[p] - f) * (self.size[p] - z) / (2.0 * bp) + (self.fz[p] - f * z) / bp;
+        let after_q =
+            (self.freq[q] + f) * (self.size[q] + z) / (2.0 * bq) + (self.fz[q] + f * z) / bq;
+        before - after_p - after_q
+    }
+
+    /// Aggregate frequency `F_i`.
+    pub fn frequency(&self, i: usize) -> f64 {
+        self.freq[i]
+    }
+
+    /// Aggregate size `Z_i`.
+    pub fn size(&self, i: usize) -> f64 {
+        self.size[i]
+    }
+
+    /// Item count `N_i`.
+    pub fn item_count(&self, i: usize) -> usize {
+        self.items[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcast_model::{average_waiting_time, ItemSpec};
+    use dbcast_workload::WorkloadBuilder;
+
+    #[test]
+    fn bandwidth_validation() {
+        assert!(Bandwidths::try_new(vec![]).is_err());
+        assert!(Bandwidths::try_new(vec![10.0, 0.0]).is_err());
+        assert!(Bandwidths::try_new(vec![10.0, f64::NAN]).is_err());
+        assert!(Bandwidths::uniform(3, 5.0).is_ok());
+    }
+
+    #[test]
+    fn uniform_bandwidths_reduce_to_paper_model() {
+        let db = WorkloadBuilder::new(40).seed(2).build().unwrap();
+        let alloc = dbcast_model::Allocation::from_assignment(
+            &db,
+            4,
+            (0..40).map(|i| i % 4).collect(),
+        )
+        .unwrap();
+        let bw = Bandwidths::uniform(4, 10.0).unwrap();
+        let hetero = hetero_waiting_time(&db, &alloc, &bw).unwrap();
+        let homo = average_waiting_time(&db, &alloc, 10.0).unwrap().total();
+        assert!((hetero - homo).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_channel_lowers_waiting() {
+        let db = Database_with_two_items();
+        let alloc = dbcast_model::Allocation::from_assignment(&db, 2, vec![0, 1]).unwrap();
+        let slow = Bandwidths::try_new(vec![10.0, 10.0]).unwrap();
+        let fast0 = Bandwidths::try_new(vec![40.0, 10.0]).unwrap();
+        let w_slow = hetero_waiting_time(&db, &alloc, &slow).unwrap();
+        let w_fast = hetero_waiting_time(&db, &alloc, &fast0).unwrap();
+        assert!(w_fast < w_slow);
+    }
+
+    #[allow(non_snake_case)]
+    fn Database_with_two_items() -> Database {
+        Database::try_from_specs(vec![ItemSpec::new(0.8, 4.0), ItemSpec::new(0.2, 8.0)])
+            .unwrap()
+    }
+
+    #[test]
+    fn tracker_matches_full_recomputation_after_moves() {
+        let db = WorkloadBuilder::new(30).seed(3).build().unwrap();
+        let bw = Bandwidths::try_new(vec![30.0, 10.0, 5.0]).unwrap();
+        let mut assignment: Vec<usize> = (0..30).map(|i| i % 3).collect();
+        let alloc =
+            dbcast_model::Allocation::from_assignment(&db, 3, assignment.clone()).unwrap();
+        let mut t = HeteroTracker::from_allocation(&db, &alloc, bw.clone());
+
+        let mut state = 7u64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let item = (state >> 33) as usize % 30;
+            let to = (state >> 17) as usize % 3;
+            let from = assignment[item];
+            let d = &db.items()[item];
+            let predicted = t.move_reduction(from, to, d.frequency(), d.size());
+            let before = t.total_cost();
+            t.relocate(from, to, d.frequency(), d.size());
+            assignment[item] = to;
+            let reference = {
+                let a =
+                    dbcast_model::Allocation::from_assignment(&db, 3, assignment.clone())
+                        .unwrap();
+                hetero_waiting_time(&db, &a, &bw).unwrap()
+            };
+            assert!((t.total_cost() - reference).abs() < 1e-9);
+            assert!((before - t.total_cost() - predicted).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mismatched_channel_counts_are_rejected() {
+        let db = WorkloadBuilder::new(10).seed(1).build().unwrap();
+        let alloc = dbcast_model::Allocation::from_assignment(
+            &db,
+            2,
+            (0..10).map(|i| i % 2).collect(),
+        )
+        .unwrap();
+        let bw = Bandwidths::uniform(3, 10.0).unwrap();
+        assert!(hetero_waiting_time(&db, &alloc, &bw).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! **DRP-H** — the end-to-end heterogeneous pipeline:
+//! DRP grouping → rearrangement assignment → H-CDS refinement.
+
+use dbcast_model::{AllocError, Allocation, ChannelAllocator as _, Database};
+
+use crate::assign::assign_groups;
+use crate::cds::{HeteroCds, HeteroCdsOutcome};
+use crate::model::Bandwidths;
+
+/// The heterogeneous-bandwidth allocator.
+///
+/// 1. **Group** with plain DRP (bandwidth-agnostic: DRP minimizes
+///    `Σ F_g Z_g`, a good proxy for the group loads).
+/// 2. **Assign** groups to channels optimally for the fixed grouping
+///    (see [`assign_groups`]).
+/// 3. **Refine** with H-CDS under the true heterogeneous objective.
+///
+/// # Example
+///
+/// ```
+/// use dbcast_hetero::{Bandwidths, HeteroDrpCds};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let db = dbcast_workload::WorkloadBuilder::new(40).seed(2).build()?;
+/// let bw = Bandwidths::try_new(vec![40.0, 10.0, 10.0])?;
+/// let alloc = HeteroDrpCds::new(bw).allocate(&db)?;
+/// assert_eq!(alloc.channels(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeteroDrpCds {
+    bw: Bandwidths,
+    cds: bool,
+}
+
+impl HeteroDrpCds {
+    /// Creates the pipeline for the given channel bandwidths.
+    pub fn new(bw: Bandwidths) -> Self {
+        HeteroDrpCds { bw, cds: true }
+    }
+
+    /// Disables the H-CDS refinement stage (grouping + assignment only);
+    /// used by ablation benchmarks.
+    pub fn without_refinement(mut self) -> Self {
+        self.cds = false;
+        self
+    }
+
+    /// The channel count implied by the bandwidth vector.
+    pub fn channels(&self) -> usize {
+        self.bw.channels()
+    }
+
+    /// Runs the full pipeline.
+    ///
+    /// # Errors
+    ///
+    /// DRP's errors (`K > N`, `K == 0`) propagate.
+    pub fn allocate(&self, db: &Database) -> Result<Allocation, AllocError> {
+        Ok(self.allocate_traced(db)?.allocation)
+    }
+
+    /// Runs the pipeline and returns the refinement trace.
+    ///
+    /// # Errors
+    ///
+    /// DRP's errors propagate; H-CDS cannot fail on a DRP result.
+    pub fn allocate_traced(&self, db: &Database) -> Result<HeteroCdsOutcome, AllocError> {
+        let k = self.bw.channels();
+        let grouped = dbcast_alloc::Drp::new().allocate(db, k)?;
+
+        // Group aggregates (F, Z, S) for the assignment step.
+        let mut aggregates = vec![(0.0f64, 0.0f64, 0.0f64); k];
+        for (item, &ch) in grouped.assignment().iter().enumerate() {
+            let d = &db.items()[item];
+            let a = &mut aggregates[ch];
+            a.0 += d.frequency();
+            a.1 += d.size();
+            a.2 += d.frequency() * d.size();
+        }
+        let perm = assign_groups(&aggregates, &self.bw);
+        let reassigned: Vec<usize> =
+            grouped.assignment().iter().map(|&g| perm[g]).collect();
+        let assigned = Allocation::from_assignment(db, k, reassigned)?;
+
+        if !self.cds {
+            let tracker =
+                crate::model::HeteroTracker::from_allocation(db, &assigned, self.bw.clone());
+            let w = tracker.total_cost();
+            return Ok(HeteroCdsOutcome {
+                allocation: assigned,
+                initial_waiting: w,
+                final_waiting: w,
+                moves: Vec::new(),
+                converged: true,
+            });
+        }
+        Ok(HeteroCds::new(self.bw.clone()).refine(db, assigned)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::hetero_waiting_time;
+    use dbcast_workload::WorkloadBuilder;
+
+    #[test]
+    fn pipeline_beats_bandwidth_oblivious_allocation() {
+        // DRP-CDS ignores bandwidths; DRP-H must not lose to it on a
+        // heterogeneous system.
+        use dbcast_model::ChannelAllocator;
+        let bw = Bandwidths::try_new(vec![50.0, 20.0, 10.0, 5.0]).unwrap();
+        let mut oblivious_total = 0.0;
+        let mut aware_total = 0.0;
+        for seed in 0..10 {
+            let db = WorkloadBuilder::new(80).seed(seed).build().unwrap();
+            let oblivious = dbcast_alloc::DrpCds::new().allocate(&db, 4).unwrap();
+            oblivious_total += hetero_waiting_time(&db, &oblivious, &bw).unwrap();
+            let aware = HeteroDrpCds::new(bw.clone()).allocate(&db).unwrap();
+            aware_total += hetero_waiting_time(&db, &aware, &bw).unwrap();
+        }
+        assert!(
+            aware_total < oblivious_total,
+            "bandwidth-aware {aware_total} should beat oblivious {oblivious_total}"
+        );
+    }
+
+    #[test]
+    fn refinement_stage_helps_or_is_neutral() {
+        let bw = Bandwidths::try_new(vec![40.0, 10.0, 10.0]).unwrap();
+        for seed in 0..5 {
+            let db = WorkloadBuilder::new(50).seed(seed).build().unwrap();
+            let rough = HeteroDrpCds::new(bw.clone())
+                .without_refinement()
+                .allocate(&db)
+                .unwrap();
+            let refined = HeteroDrpCds::new(bw.clone()).allocate(&db).unwrap();
+            let w_rough = hetero_waiting_time(&db, &rough, &bw).unwrap();
+            let w_refined = hetero_waiting_time(&db, &refined, &bw).unwrap();
+            assert!(w_refined <= w_rough + 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn uniform_bandwidths_match_plain_pipeline_cost() {
+        use dbcast_model::ChannelAllocator;
+        let bw = Bandwidths::uniform(5, 10.0).unwrap();
+        let db = WorkloadBuilder::new(60).seed(3).build().unwrap();
+        let hetero = HeteroDrpCds::new(bw.clone()).allocate(&db).unwrap();
+        let plain = dbcast_alloc::DrpCds::new().allocate(&db, 5).unwrap();
+        let wh = hetero_waiting_time(&db, &hetero, &bw).unwrap();
+        let wp = hetero_waiting_time(&db, &plain, &bw).unwrap();
+        assert!((wh - wp).abs() / wp < 0.02, "{wh} vs {wp}");
+    }
+
+    #[test]
+    fn infeasible_instances_error() {
+        let bw = Bandwidths::uniform(5, 10.0).unwrap();
+        let db = WorkloadBuilder::new(3).build().unwrap();
+        assert!(HeteroDrpCds::new(bw).allocate(&db).is_err());
+    }
+}

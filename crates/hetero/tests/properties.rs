@@ -1,0 +1,104 @@
+//! Property-based tests of the heterogeneous-bandwidth extension.
+
+use dbcast_hetero::{assign_groups, hetero_waiting_time, Bandwidths, HeteroCds, HeteroTracker};
+use dbcast_model::{Allocation, Database, ItemSpec};
+use proptest::prelude::*;
+
+fn instance() -> impl Strategy<Value = (Database, Bandwidths, Vec<usize>)> {
+    (
+        prop::collection::vec((0.01f64..10.0, 0.1f64..100.0), 1..30),
+        prop::collection::vec(0.5f64..50.0, 1..5),
+    )
+        .prop_flat_map(|(pairs, bws)| {
+            let db = Database::try_from_specs(
+                pairs.into_iter().map(|(f, z)| ItemSpec::new(f, z)),
+            )
+            .unwrap();
+            let k = bws.len();
+            let n = db.len();
+            let bw = Bandwidths::try_new(bws).unwrap();
+            prop::collection::vec(0..k, n)
+                .prop_map(move |assignment| (db.clone(), bw.clone(), assignment))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tracker_total_matches_model((db, bw, assignment) in instance()) {
+        let alloc = Allocation::from_assignment(&db, bw.channels(), assignment).unwrap();
+        let via_fn = hetero_waiting_time(&db, &alloc, &bw).unwrap();
+        let via_tracker = HeteroTracker::from_allocation(&db, &alloc, bw.clone()).total_cost();
+        prop_assert!((via_fn - via_tracker).abs() < 1e-9);
+        prop_assert!(via_fn > 0.0);
+    }
+
+    #[test]
+    fn uniform_bandwidths_reduce_to_homogeneous_model((db, bw, assignment) in instance()) {
+        let k = bw.channels();
+        let uniform = Bandwidths::uniform(k, 7.5).unwrap();
+        let alloc = Allocation::from_assignment(&db, k, assignment).unwrap();
+        let hetero = hetero_waiting_time(&db, &alloc, &uniform).unwrap();
+        let homo = dbcast_model::average_waiting_time(&db, &alloc, 7.5)
+            .unwrap()
+            .total();
+        prop_assert!((hetero - homo).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hcds_refinement_is_monotone_and_locally_optimal((db, bw, assignment) in instance()) {
+        let alloc = Allocation::from_assignment(&db, bw.channels(), assignment).unwrap();
+        let before = hetero_waiting_time(&db, &alloc, &bw).unwrap();
+        let out = HeteroCds::new(bw.clone()).refine(&db, alloc).unwrap();
+        prop_assert!(out.final_waiting <= before + 1e-9);
+        prop_assert!(out.converged);
+        // No improving move remains.
+        let tracker = HeteroTracker::from_allocation(&db, &out.allocation, bw.clone());
+        for (item, &p) in out.allocation.assignment().iter().enumerate() {
+            let d = &db.items()[item];
+            for q in 0..bw.channels() {
+                prop_assert!(
+                    tracker.move_reduction(p, q, d.frequency(), d.size()) <= 1e-9
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_is_optimal_vs_all_permutations(
+        loads in prop::collection::vec((0.01f64..5.0, 0.1f64..50.0, 0.0f64..10.0), 2..5),
+        raw_bws in prop::collection::vec(0.5f64..40.0, 2..5),
+    ) {
+        let k = loads.len().min(raw_bws.len());
+        let groups: Vec<(f64, f64, f64)> = loads.into_iter().take(k).collect();
+        let bw = Bandwidths::try_new(raw_bws.into_iter().take(k).collect()).unwrap();
+        let perm = assign_groups(&groups, &bw);
+
+        let cost = |perm: &[usize]| -> f64 {
+            groups
+                .iter()
+                .zip(perm)
+                .map(|(&(f, z, s), &c)| (f * z / 2.0 + s) / bw.get(c))
+                .sum()
+        };
+        let got = cost(&perm);
+        // Exhaustive check (k <= 4).
+        let mut indices: Vec<usize> = (0..k).collect();
+        let mut best = f64::INFINITY;
+        permute(&mut indices, 0, &mut |p| best = best.min(cost(p)));
+        prop_assert!(got <= best + 1e-9, "{got} vs {best}");
+    }
+}
+
+fn permute(arr: &mut Vec<usize>, start: usize, f: &mut impl FnMut(&[usize])) {
+    if start == arr.len() {
+        f(arr);
+        return;
+    }
+    for i in start..arr.len() {
+        arr.swap(start, i);
+        permute(arr, start + 1, f);
+        arr.swap(start, i);
+    }
+}

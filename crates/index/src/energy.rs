@@ -1,0 +1,97 @@
+//! The two-state radio energy model of selective tuning.
+
+use serde::{Deserialize, Serialize};
+
+/// A mobile radio with an *active* (receiving) and a *doze* power draw.
+///
+/// Classic figures from the data-on-air literature put doze power at
+/// 1–5% of active power, which is what makes tuning time the battery
+/// metric.
+///
+/// # Example
+///
+/// ```
+/// use dbcast_index::EnergyModel;
+/// let radio = EnergyModel::new(250.0, 5.0);
+/// // 2 s active out of a 10 s access window:
+/// let mj = radio.energy(10.0, 2.0);
+/// assert!((mj - (2.0 * 250.0 + 8.0 * 5.0)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Power draw while actively receiving, in milliwatts.
+    pub active_mw: f64,
+    /// Power draw while dozing, in milliwatts.
+    pub doze_mw: f64,
+}
+
+impl EnergyModel {
+    /// Creates a model from active and doze power draws (mW).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `active_mw >= doze_mw >= 0` and both are finite.
+    pub fn new(active_mw: f64, doze_mw: f64) -> Self {
+        assert!(
+            active_mw.is_finite() && doze_mw.is_finite() && doze_mw >= 0.0
+                && active_mw >= doze_mw,
+            "need active >= doze >= 0"
+        );
+        EnergyModel { active_mw, doze_mw }
+    }
+
+    /// A typical early-2000s WLAN card: 250 mW active, 5 mW doze.
+    pub fn typical() -> Self {
+        EnergyModel::new(250.0, 5.0)
+    }
+
+    /// Energy (millijoules) for one request spending `access` seconds
+    /// end-to-end of which `tuning` seconds are radio-active.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when `tuning > access` or either is negative.
+    pub fn energy(&self, access: f64, tuning: f64) -> f64 {
+        debug_assert!(tuning >= 0.0 && access >= tuning - 1e-9);
+        tuning * self.active_mw + (access - tuning).max(0.0) * self.doze_mw
+    }
+
+    /// Energy of an *unindexed* request, where the radio listens for the
+    /// whole access window.
+    pub fn energy_unindexed(&self, access: f64) -> f64 {
+        access * self.active_mw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        let _ = EnergyModel::new(100.0, 0.0);
+        let _ = EnergyModel::new(100.0, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "active >= doze")]
+    fn doze_above_active_panics() {
+        let _ = EnergyModel::new(5.0, 10.0);
+    }
+
+    #[test]
+    fn indexing_saves_energy_when_doze_is_cheap() {
+        let radio = EnergyModel::typical();
+        let access = 12.0;
+        let tuning = 0.8;
+        assert!(radio.energy(access, tuning) < radio.energy_unindexed(access));
+    }
+
+    #[test]
+    fn equal_powers_mean_no_saving() {
+        let radio = EnergyModel::new(100.0, 100.0);
+        assert!(
+            (radio.energy(10.0, 1.0) - radio.energy_unindexed(10.0)).abs() < 1e-9
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! Indexing a whole multi-channel broadcast program and measuring it.
+
+use dbcast_model::{BroadcastProgram, Database, ItemId, ModelError};
+use dbcast_workload::RequestTrace;
+use serde::{Deserialize, Serialize};
+
+use crate::channel::{optimal_segments, IndexedChannel};
+use crate::energy::EnergyModel;
+
+/// Frequency-weighted expected metrics of an indexed program.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgramMetrics {
+    /// Expected access time (seconds) per request.
+    pub access: f64,
+    /// Expected tuning time (seconds of radio-active time) per request.
+    pub tuning: f64,
+    /// Expected access time of the same program *without* indexing.
+    pub unindexed_access: f64,
+}
+
+impl ProgramMetrics {
+    /// The access-latency overhead indexing costs, relative.
+    pub fn access_overhead(&self) -> f64 {
+        self.access / self.unindexed_access - 1.0
+    }
+
+    /// Expected per-request energy (mJ) under `radio`, indexed.
+    pub fn energy(&self, radio: &EnergyModel) -> f64 {
+        radio.energy(self.access, self.tuning)
+    }
+
+    /// Expected per-request energy (mJ) without indexing (radio active
+    /// for the whole access window).
+    pub fn energy_unindexed(&self, radio: &EnergyModel) -> f64 {
+        radio.energy_unindexed(self.unindexed_access)
+    }
+}
+
+/// Empirical per-trace metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceMetrics {
+    /// Requests evaluated.
+    pub requests: usize,
+    /// Mean access time (s).
+    pub access: f64,
+    /// Mean tuning time (s).
+    pub tuning: f64,
+}
+
+/// A fully indexed multi-channel broadcast program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexedProgram {
+    channels: Vec<IndexedChannel>,
+    bandwidth: f64,
+}
+
+impl IndexedProgram {
+    /// Indexes every non-empty channel of `program` with an explicit
+    /// per-channel segment count (entries for empty channels ignored).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::AssignmentLength`] when `segments` has the wrong
+    /// length; channel-construction errors propagate.
+    pub fn new(
+        program: &BroadcastProgram,
+        segments: &[usize],
+        index_size: f64,
+        header_size: f64,
+    ) -> Result<Self, ModelError> {
+        if segments.len() != program.channels().len() {
+            return Err(ModelError::AssignmentLength {
+                expected: program.channels().len(),
+                actual: segments.len(),
+            });
+        }
+        let mut channels = Vec::new();
+        for (schedule, &m) in program.channels().iter().zip(segments) {
+            if schedule.is_empty() {
+                continue;
+            }
+            channels.push(IndexedChannel::new(schedule, m, index_size, header_size)?);
+        }
+        Ok(IndexedProgram { channels, bandwidth: program.bandwidth() })
+    }
+
+    /// Indexes every channel with its own `m* = sqrt(Z_i / index_size)`.
+    ///
+    /// # Errors
+    ///
+    /// Channel-construction errors propagate.
+    pub fn with_optimal_segments(
+        program: &BroadcastProgram,
+        index_size: f64,
+        header_size: f64,
+    ) -> Result<Self, ModelError> {
+        let segments: Vec<usize> = program
+            .channels()
+            .iter()
+            .map(|c| {
+                if c.is_empty() {
+                    1
+                } else {
+                    optimal_segments(c.cycle_size(), index_size)
+                }
+            })
+            .collect();
+        IndexedProgram::new(program, &segments, index_size, header_size)
+    }
+
+    /// The indexed channels (empty source channels are dropped).
+    pub fn channels(&self) -> &[IndexedChannel] {
+        &self.channels
+    }
+
+    /// The shared bandwidth (size units / second).
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    fn channel_of(&self, item: ItemId) -> Option<&IndexedChannel> {
+        self.channels
+            .iter()
+            .find(|c| c.tuning_time(item, self.bandwidth).is_some())
+    }
+
+    /// Access time of one request (seconds).
+    pub fn access_time(&self, item: ItemId, now: f64) -> Option<f64> {
+        self.channel_of(item)?.access_time(item, now, self.bandwidth)
+    }
+
+    /// Exact `(access, tuning)` of one request (seconds).
+    pub fn request_metrics(&self, item: ItemId, now: f64) -> Option<(f64, f64)> {
+        self.channel_of(item)?.request_metrics(item, now, self.bandwidth)
+    }
+
+    /// Upper bound on the tuning time of any request for `item`.
+    pub fn tuning_time(&self, item: ItemId) -> Option<f64> {
+        self.channel_of(item)?.tuning_time(item, self.bandwidth)
+    }
+
+    /// Frequency-weighted expected metrics over `db`, with unindexed
+    /// access (Eq. 1 of the base paper) as the latency baseline.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::ItemOutOfRange`] if the program does not carry
+    /// some database item.
+    pub fn expected_metrics(&self, db: &Database) -> Result<ProgramMetrics, ModelError> {
+        let mut access = 0.0;
+        let mut tuning = 0.0;
+        let mut unindexed = 0.0;
+        for d in db.iter() {
+            let ch = self.channel_of(d.id()).ok_or(ModelError::ItemOutOfRange {
+                item: d.id().index(),
+                items: db.len(),
+            })?;
+            let (e_access, e_tuning) = ch
+                .expected_metrics(d.id(), self.bandwidth, 512)
+                .expect("channel carries the item");
+            access += d.frequency() * e_access;
+            tuning += d.frequency() * e_tuning;
+            // Unindexed: probe half the *data-only* cycle + download.
+            let data_cycle =
+                ch.cycle_size() - ch.segments() as f64 * index_overhead_of(ch);
+            unindexed += d.frequency()
+                * (data_cycle / (2.0 * self.bandwidth) + d.size() / self.bandwidth);
+        }
+        Ok(ProgramMetrics { access, tuning, unindexed_access: unindexed })
+    }
+
+    /// Evaluates a request trace: per-request access/tuning means.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::ItemOutOfRange`] if the trace requests an item the
+    /// program does not carry.
+    pub fn evaluate_trace(&self, trace: &RequestTrace) -> Result<TraceMetrics, ModelError> {
+        let mut access = 0.0;
+        let mut tuning = 0.0;
+        for r in trace.iter() {
+            let (a, t) =
+                self.request_metrics(r.item, r.time).ok_or(ModelError::ItemOutOfRange {
+                    item: r.item.index(),
+                    items: usize::MAX,
+                })?;
+            access += a;
+            tuning += t;
+        }
+        let n = trace.len().max(1) as f64;
+        Ok(TraceMetrics { requests: trace.len(), access: access / n, tuning: tuning / n })
+    }
+}
+
+/// The per-copy index size of a built channel (recovered from layout).
+fn index_overhead_of(ch: &IndexedChannel) -> f64 {
+    ch.layout()
+        .find(|(e, _, _)| matches!(e, crate::channel::LayoutEntry::Index { .. }))
+        .map(|(_, _, size)| size)
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcast_alloc::DrpCds;
+    use dbcast_model::ChannelAllocator;
+    use dbcast_workload::{TraceBuilder, WorkloadBuilder};
+
+    fn setup() -> (Database, BroadcastProgram) {
+        let db = WorkloadBuilder::new(40).seed(5).build().unwrap();
+        let alloc = DrpCds::new().allocate(&db, 4).unwrap();
+        let program = BroadcastProgram::new(&db, &alloc, 10.0).unwrap();
+        (db, program)
+    }
+
+    #[test]
+    fn optimal_indexing_has_low_tuning_and_bounded_overhead() {
+        let (db, program) = setup();
+        let indexed = IndexedProgram::with_optimal_segments(&program, 1.0, 0.1).unwrap();
+        let m = indexed.expected_metrics(&db).unwrap();
+        assert!(m.tuning < m.access, "{m:?}");
+        assert!(m.tuning < m.unindexed_access / 4.0, "{m:?}");
+        // Index overhead on latency stays modest at m*.
+        assert!(m.access_overhead() < 0.35, "overhead {}", m.access_overhead());
+    }
+
+    #[test]
+    fn energy_savings_are_dramatic_with_cheap_doze() {
+        let (db, program) = setup();
+        let indexed = IndexedProgram::with_optimal_segments(&program, 1.0, 0.1).unwrap();
+        let m = indexed.expected_metrics(&db).unwrap();
+        let radio = EnergyModel::typical();
+        let saving = 1.0 - m.energy(&radio) / m.energy_unindexed(&radio);
+        assert!(saving > 0.5, "expected >50% energy saving, got {saving:.2}");
+    }
+
+    #[test]
+    fn optimal_m_beats_extreme_choices() {
+        let (db, program) = setup();
+        let k = program.channels().len();
+        let best = IndexedProgram::with_optimal_segments(&program, 1.0, 0.1).unwrap();
+        let m1 = IndexedProgram::new(&program, &vec![1; k], 1.0, 0.1).unwrap();
+        let huge = IndexedProgram::new(&program, &vec![64; k], 1.0, 0.1).unwrap();
+        let wb = best.expected_metrics(&db).unwrap();
+        let w1 = m1.expected_metrics(&db).unwrap();
+        let whuge = huge.expected_metrics(&db).unwrap();
+        assert!(wb.access <= w1.access + 1e-9);
+        assert!(wb.access <= whuge.access + 1e-9);
+    }
+
+    #[test]
+    fn trace_evaluation_matches_expected_metrics() {
+        let (db, program) = setup();
+        let indexed = IndexedProgram::with_optimal_segments(&program, 1.0, 0.1).unwrap();
+        let expected = indexed.expected_metrics(&db).unwrap();
+        let trace = TraceBuilder::new(&db).requests(30_000).seed(6).build().unwrap();
+        let measured = indexed.evaluate_trace(&trace).unwrap();
+        let rel = (measured.access - expected.access).abs() / expected.access;
+        assert!(rel < 0.05, "access {} vs {}", measured.access, expected.access);
+        let rel_t = (measured.tuning - expected.tuning).abs() / expected.tuning;
+        assert!(rel_t < 0.05, "tuning {} vs {}", measured.tuning, expected.tuning);
+    }
+
+    #[test]
+    fn wrong_segment_vector_length_errors() {
+        let (_, program) = setup();
+        assert!(IndexedProgram::new(&program, &[1, 1], 1.0, 0.1).is_err());
+    }
+}

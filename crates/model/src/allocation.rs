@@ -1,0 +1,507 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::database::Database;
+use crate::error::ModelError;
+use crate::item::ItemId;
+
+/// Identifier of a broadcast channel (`0 .. K`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct ChannelId(usize);
+
+impl ChannelId {
+    /// Creates a channel id from a raw index.
+    pub const fn new(index: usize) -> Self {
+        ChannelId(index)
+    }
+
+    /// Returns the underlying index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<usize> for ChannelId {
+    fn from(index: usize) -> Self {
+        ChannelId(index)
+    }
+}
+
+impl From<ChannelId> for usize {
+    fn from(id: ChannelId) -> Self {
+        id.0
+    }
+}
+
+/// Per-channel aggregates: item count, aggregate frequency `F_i`,
+/// aggregate size `Z_i` and cost `F_i · Z_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ChannelStats {
+    /// Number of items allocated to this channel, `N_i`.
+    pub items: usize,
+    /// Aggregate access frequency `F_i = Σ_j f_j^(i)` (Definition 3).
+    pub frequency: f64,
+    /// Aggregate size `Z_i = Σ_j z_j^(i)` (Definition 4).
+    pub size: f64,
+}
+
+impl ChannelStats {
+    /// The channel's contribution to the allocation cost:
+    /// `cost(i) = F_i · Z_i` (Definition 1).
+    pub fn cost(&self) -> f64 {
+        self.frequency * self.size
+    }
+}
+
+/// A single-item relocation between channels, as considered by CDS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Move {
+    /// The item to relocate.
+    pub item: ItemId,
+    /// Channel the item currently lives on.
+    pub from: ChannelId,
+    /// Channel the item is moved to.
+    pub to: ChannelId,
+}
+
+impl fmt::Display for Move {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} -> {}", self.item, self.from, self.to)
+    }
+}
+
+/// An allocation of every database item to one of `K` broadcast
+/// channels — the output of every allocator in the workspace.
+///
+/// Internally this is a dense `item -> channel` assignment plus
+/// incrementally-maintained per-channel aggregates, so cost queries and
+/// CDS-style move evaluation are O(1).
+///
+/// An `Allocation` is always *consistent* with the database it was built
+/// from (every item assigned, channels in range); *empty channels are
+/// permitted* — the cost model simply assigns them zero cost. Algorithms
+/// that require non-empty channels enforce that themselves.
+///
+/// # Example
+///
+/// ```
+/// use dbcast_model::{Allocation, Database, ItemSpec};
+/// # fn main() -> Result<(), dbcast_model::ModelError> {
+/// let db = Database::try_from_specs(vec![
+///     ItemSpec::new(0.6, 1.0),
+///     ItemSpec::new(0.4, 5.0),
+/// ])?;
+/// let alloc = Allocation::from_assignment(&db, 2, vec![0, 1])?;
+/// assert_eq!(alloc.channels(), 2);
+/// assert!((alloc.total_cost() - (0.6 * 1.0 + 0.4 * 5.0)).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// `assignment[item] = channel index`.
+    assignment: Vec<usize>,
+    /// Per-channel aggregates, kept in sync with `assignment`.
+    stats: Vec<ChannelStats>,
+    /// Cached item features `(f, z)` so moves don't need the database.
+    features: Vec<(f64, f64)>,
+}
+
+impl Allocation {
+    /// Builds an allocation from an explicit `item -> channel` vector.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::ZeroChannels`] if `channels == 0`.
+    /// * [`ModelError::AssignmentLength`] if `assignment.len() != db.len()`.
+    /// * [`ModelError::ChannelOutOfRange`] if any entry `>= channels`.
+    pub fn from_assignment(
+        db: &Database,
+        channels: usize,
+        assignment: Vec<usize>,
+    ) -> Result<Self, ModelError> {
+        if channels == 0 {
+            return Err(ModelError::ZeroChannels);
+        }
+        if assignment.len() != db.len() {
+            return Err(ModelError::AssignmentLength {
+                expected: db.len(),
+                actual: assignment.len(),
+            });
+        }
+        let mut stats = vec![ChannelStats::default(); channels];
+        let mut features = Vec::with_capacity(db.len());
+        for (item, &ch) in assignment.iter().enumerate() {
+            if ch >= channels {
+                return Err(ModelError::ChannelOutOfRange { channel: ch, channels });
+            }
+            let d = &db.items()[item];
+            features.push((d.frequency(), d.size()));
+            let s = &mut stats[ch];
+            s.items += 1;
+            s.frequency += d.frequency();
+            s.size += d.size();
+        }
+        Ok(Allocation { assignment, stats, features })
+    }
+
+    /// Builds an allocation from explicit per-channel item groups.
+    ///
+    /// Groups must be disjoint and cover the database exactly; the group
+    /// index becomes the channel id.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::ZeroChannels`] for an empty group list.
+    /// * [`ModelError::ItemOutOfRange`] for unknown item ids.
+    /// * [`ModelError::AssignmentLength`] if the groups do not partition
+    ///   the database (an item missing or listed twice).
+    pub fn from_groups(db: &Database, groups: &[Vec<ItemId>]) -> Result<Self, ModelError> {
+        if groups.is_empty() {
+            return Err(ModelError::ZeroChannels);
+        }
+        let mut assignment = vec![usize::MAX; db.len()];
+        let mut assigned = 0usize;
+        for (ch, group) in groups.iter().enumerate() {
+            for &id in group {
+                if id.index() >= db.len() {
+                    return Err(ModelError::ItemOutOfRange {
+                        item: id.index(),
+                        items: db.len(),
+                    });
+                }
+                if assignment[id.index()] != usize::MAX {
+                    // Item listed twice: groups do not partition D.
+                    return Err(ModelError::AssignmentLength {
+                        expected: db.len(),
+                        actual: assigned + 1,
+                    });
+                }
+                assignment[id.index()] = ch;
+                assigned += 1;
+            }
+        }
+        if assigned != db.len() {
+            return Err(ModelError::AssignmentLength { expected: db.len(), actual: assigned });
+        }
+        Allocation::from_assignment(db, groups.len(), assignment)
+    }
+
+    /// Number of channels `K`.
+    pub fn channels(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Number of items `N`.
+    pub fn items(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The channel holding `item`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::ItemOutOfRange`] for unknown ids.
+    pub fn channel_of(&self, item: ItemId) -> Result<ChannelId, ModelError> {
+        self.assignment
+            .get(item.index())
+            .map(|&c| ChannelId::new(c))
+            .ok_or(ModelError::ItemOutOfRange {
+                item: item.index(),
+                items: self.assignment.len(),
+            })
+    }
+
+    /// Aggregates of one channel.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::ChannelOutOfRange`] for unknown channels.
+    pub fn channel_stats(&self, channel: ChannelId) -> Result<ChannelStats, ModelError> {
+        self.stats
+            .get(channel.index())
+            .copied()
+            .ok_or(ModelError::ChannelOutOfRange {
+                channel: channel.index(),
+                channels: self.stats.len(),
+            })
+    }
+
+    /// Aggregates of every channel, indexed by channel id.
+    pub fn all_channel_stats(&self) -> &[ChannelStats] {
+        &self.stats
+    }
+
+    /// The raw `item -> channel` assignment vector.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Materializes per-channel item groups (item ids in id order).
+    pub fn groups(&self) -> Vec<Vec<ItemId>> {
+        let mut groups = vec![Vec::new(); self.stats.len()];
+        for (item, &ch) in self.assignment.iter().enumerate() {
+            groups[ch].push(ItemId::new(item));
+        }
+        groups
+    }
+
+    /// Total allocation cost `Σ_i F_i · Z_i` (Eq. 3).
+    pub fn total_cost(&self) -> f64 {
+        self.stats.iter().map(ChannelStats::cost).sum()
+    }
+
+    /// Number of channels with no items.
+    pub fn empty_channels(&self) -> usize {
+        self.stats.iter().filter(|s| s.items == 0).count()
+    }
+
+    /// The cost delta of applying `mv`, per the paper's Eq. 4:
+    ///
+    /// `Δc = f_x (Z_p − Z_q) + z_x (F_p − F_q) − 2 f_x z_x`
+    ///
+    /// Positive `Δc` means the move *reduces* total cost by `Δc`.
+    /// The move is **not** applied.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::ItemOutOfRange`] / [`ModelError::ChannelOutOfRange`]
+    ///   for unknown ids.
+    /// * [`ModelError::ItemNotOnChannel`] if `mv.from` is not the item's
+    ///   current channel.
+    pub fn move_reduction(&self, mv: Move) -> Result<f64, ModelError> {
+        let cur = self.channel_of(mv.item)?;
+        if cur != mv.from {
+            return Err(ModelError::ItemNotOnChannel {
+                item: mv.item.index(),
+                channel: mv.from.index(),
+            });
+        }
+        let p = self.channel_stats(mv.from)?;
+        let q = self.channel_stats(mv.to)?;
+        let (f_x, z_x) = self.features[mv.item.index()];
+        Ok(f_x * (p.size - q.size) + z_x * (p.frequency - q.frequency) - 2.0 * f_x * z_x)
+    }
+
+    /// Applies `mv`, updating the assignment and aggregates in O(1).
+    ///
+    /// Returns the realized cost reduction (same value
+    /// [`move_reduction`](Self::move_reduction) would have reported).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`move_reduction`](Self::move_reduction).
+    /// A move with `from == to` is a no-op returning `0.0`.
+    pub fn apply_move(&mut self, mv: Move) -> Result<f64, ModelError> {
+        let reduction = self.move_reduction(mv)?;
+        if mv.from == mv.to {
+            return Ok(0.0);
+        }
+        let (f_x, z_x) = self.features[mv.item.index()];
+        self.assignment[mv.item.index()] = mv.to.index();
+        let p = &mut self.stats[mv.from.index()];
+        p.items -= 1;
+        p.frequency -= f_x;
+        p.size -= z_x;
+        let q = &mut self.stats[mv.to.index()];
+        q.items += 1;
+        q.frequency += f_x;
+        q.size += z_x;
+        Ok(reduction)
+    }
+
+    /// Recomputes aggregates from scratch and checks internal
+    /// consistency against `db`. Intended for tests and debug assertions.
+    ///
+    /// # Errors
+    ///
+    /// Any structural mismatch is reported with the most specific
+    /// [`ModelError`] available.
+    pub fn validate(&self, db: &Database) -> Result<(), ModelError> {
+        if self.assignment.len() != db.len() {
+            return Err(ModelError::AssignmentLength {
+                expected: db.len(),
+                actual: self.assignment.len(),
+            });
+        }
+        let rebuilt = Allocation::from_assignment(db, self.stats.len(), self.assignment.clone())?;
+        for (a, b) in self.stats.iter().zip(rebuilt.stats.iter()) {
+            if a.items != b.items
+                || (a.frequency - b.frequency).abs() > 1e-9
+                || (a.size - b.size).abs() > 1e-9
+            {
+                return Err(ModelError::AssignmentLength {
+                    expected: b.items,
+                    actual: a.items,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::ItemSpec;
+
+    fn db4() -> Database {
+        Database::try_from_specs(vec![
+            ItemSpec::new(0.4, 2.0),
+            ItemSpec::new(0.3, 3.0),
+            ItemSpec::new(0.2, 5.0),
+            ItemSpec::new(0.1, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn from_assignment_validates_inputs() {
+        let db = db4();
+        assert_eq!(
+            Allocation::from_assignment(&db, 0, vec![0; 4]),
+            Err(ModelError::ZeroChannels)
+        );
+        assert_eq!(
+            Allocation::from_assignment(&db, 2, vec![0; 3]),
+            Err(ModelError::AssignmentLength { expected: 4, actual: 3 })
+        );
+        assert_eq!(
+            Allocation::from_assignment(&db, 2, vec![0, 1, 2, 0]),
+            Err(ModelError::ChannelOutOfRange { channel: 2, channels: 2 })
+        );
+    }
+
+    #[test]
+    fn aggregates_match_definitions() {
+        let db = db4();
+        let a = Allocation::from_assignment(&db, 2, vec![0, 0, 1, 1]).unwrap();
+        let s0 = a.channel_stats(ChannelId::new(0)).unwrap();
+        let s1 = a.channel_stats(ChannelId::new(1)).unwrap();
+        assert_eq!(s0.items, 2);
+        assert!((s0.frequency - 0.7).abs() < 1e-12);
+        assert!((s0.size - 5.0).abs() < 1e-12);
+        assert!((s1.frequency - 0.3).abs() < 1e-12);
+        assert!((s1.size - 6.0).abs() < 1e-12);
+        assert!((a.total_cost() - (0.7 * 5.0 + 0.3 * 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn groups_roundtrip() {
+        let db = db4();
+        let a = Allocation::from_assignment(&db, 3, vec![2, 0, 0, 1]).unwrap();
+        let groups = a.groups();
+        let b = Allocation::from_groups(&db, &groups).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_groups_rejects_non_partition() {
+        let db = db4();
+        // Missing item 3.
+        let missing = vec![vec![ItemId::new(0)], vec![ItemId::new(1), ItemId::new(2)]];
+        assert!(Allocation::from_groups(&db, &missing).is_err());
+        // Duplicate item 0.
+        let dup = vec![
+            vec![ItemId::new(0), ItemId::new(1)],
+            vec![ItemId::new(0), ItemId::new(2), ItemId::new(3)],
+        ];
+        assert!(Allocation::from_groups(&db, &dup).is_err());
+        // Unknown id.
+        let unknown = vec![vec![ItemId::new(9)]];
+        assert!(matches!(
+            Allocation::from_groups(&db, &unknown),
+            Err(ModelError::ItemOutOfRange { item: 9, items: 4 })
+        ));
+    }
+
+    #[test]
+    fn empty_channels_are_allowed_and_counted() {
+        let db = db4();
+        let a = Allocation::from_assignment(&db, 3, vec![0, 0, 0, 0]).unwrap();
+        assert_eq!(a.empty_channels(), 2);
+        assert!((a.total_cost() - 11.0).abs() < 1e-12); // F=1, Z=11
+    }
+
+    #[test]
+    fn move_reduction_matches_recomputation() {
+        let db = db4();
+        let a = Allocation::from_assignment(&db, 2, vec![0, 0, 1, 1]).unwrap();
+        let mv = Move {
+            item: ItemId::new(1),
+            from: ChannelId::new(0),
+            to: ChannelId::new(1),
+        };
+        let predicted = a.move_reduction(mv).unwrap();
+
+        let mut b = a.clone();
+        let realized = b.apply_move(mv).unwrap();
+        assert!((predicted - realized).abs() < 1e-12);
+        assert!((a.total_cost() - b.total_cost() - predicted).abs() < 1e-12);
+        b.validate(&db).unwrap();
+    }
+
+    #[test]
+    fn apply_move_same_channel_is_noop() {
+        let db = db4();
+        let mut a = Allocation::from_assignment(&db, 2, vec![0, 0, 1, 1]).unwrap();
+        let before = a.clone();
+        let mv = Move {
+            item: ItemId::new(0),
+            from: ChannelId::new(0),
+            to: ChannelId::new(0),
+        };
+        assert_eq!(a.apply_move(mv).unwrap(), 0.0);
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn move_from_wrong_channel_is_rejected() {
+        let db = db4();
+        let a = Allocation::from_assignment(&db, 2, vec![0, 0, 1, 1]).unwrap();
+        let mv = Move {
+            item: ItemId::new(0),
+            from: ChannelId::new(1),
+            to: ChannelId::new(0),
+        };
+        assert_eq!(
+            a.move_reduction(mv),
+            Err(ModelError::ItemNotOnChannel { item: 0, channel: 1 })
+        );
+    }
+
+    #[test]
+    fn validate_detects_ok_state() {
+        let db = db4();
+        let mut a = Allocation::from_assignment(&db, 2, vec![0, 1, 0, 1]).unwrap();
+        a.validate(&db).unwrap();
+        for mv in [
+            Move { item: ItemId::new(0), from: ChannelId::new(0), to: ChannelId::new(1) },
+            Move { item: ItemId::new(3), from: ChannelId::new(1), to: ChannelId::new(0) },
+        ] {
+            a.apply_move(mv).unwrap();
+            a.validate(&db).unwrap();
+        }
+    }
+
+    #[test]
+    fn display_of_ids_and_moves() {
+        let mv = Move {
+            item: ItemId::new(4),
+            from: ChannelId::new(1),
+            to: ChannelId::new(2),
+        };
+        assert_eq!(mv.to_string(), "d4: c1 -> c2");
+        assert_eq!(ChannelId::new(5).to_string(), "c5");
+    }
+}

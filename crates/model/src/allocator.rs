@@ -1,0 +1,171 @@
+//! The [`ChannelAllocator`] abstraction shared by every allocation
+//! algorithm in the workspace (DRP, DRP-CDS, VF^K, GOPT, flat, greedy,
+//! exact search).
+
+use std::fmt;
+
+use crate::allocation::Allocation;
+use crate::database::Database;
+use crate::error::ModelError;
+
+/// Errors produced by allocation algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AllocError {
+    /// A structural error from the model layer.
+    Model(ModelError),
+    /// The instance is infeasible for this algorithm (e.g. more
+    /// channels than items for algorithms requiring non-empty channels).
+    Infeasible {
+        /// Why the instance cannot be solved.
+        reason: String,
+    },
+    /// The instance is too large for an exact algorithm's budget.
+    TooLarge {
+        /// Number of items in the instance.
+        items: usize,
+        /// The algorithm's limit.
+        limit: usize,
+    },
+    /// An algorithm parameter is out of its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::Model(e) => write!(f, "allocation model error: {e}"),
+            AllocError::Infeasible { reason } => write!(f, "infeasible instance: {reason}"),
+            AllocError::TooLarge { items, limit } => {
+                write!(f, "instance with {items} items exceeds exact-search limit {limit}")
+            }
+            AllocError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid parameter {name}: {constraint}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AllocError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for AllocError {
+    fn from(e: ModelError) -> Self {
+        AllocError::Model(e)
+    }
+}
+
+/// A channel-allocation algorithm: groups the items of a database onto
+/// `channels` broadcast channels, attempting to minimize the cost
+/// function `Σ_i F_i Z_i` (Eq. 3).
+///
+/// Implementations must be deterministic for a fixed configuration
+/// (randomized algorithms carry an explicit seed in their config).
+pub trait ChannelAllocator {
+    /// A short stable name for reports (e.g. `"DRP-CDS"`, `"VF^K"`).
+    fn name(&self) -> &str;
+
+    /// Computes an allocation of `db` onto `channels` channels.
+    ///
+    /// # Errors
+    ///
+    /// Algorithm-specific; see each implementation. All algorithms
+    /// reject `channels == 0`.
+    fn allocate(&self, db: &Database, channels: usize) -> Result<Allocation, AllocError>;
+}
+
+impl<T: ChannelAllocator + ?Sized> ChannelAllocator for &T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn allocate(&self, db: &Database, channels: usize) -> Result<Allocation, AllocError> {
+        (**self).allocate(db, channels)
+    }
+}
+
+impl<T: ChannelAllocator + ?Sized> ChannelAllocator for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn allocate(&self, db: &Database, channels: usize) -> Result<Allocation, AllocError> {
+        (**self).allocate(db, channels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::ItemSpec;
+
+    /// A trivial allocator used to exercise the trait plumbing.
+    struct RoundRobin;
+
+    impl ChannelAllocator for RoundRobin {
+        fn name(&self) -> &str {
+            "round-robin"
+        }
+
+        fn allocate(&self, db: &Database, channels: usize) -> Result<Allocation, AllocError> {
+            if channels == 0 {
+                return Err(ModelError::ZeroChannels.into());
+            }
+            let assignment = (0..db.len()).map(|i| i % channels).collect();
+            Ok(Allocation::from_assignment(db, channels, assignment)?)
+        }
+    }
+
+    fn db() -> Database {
+        Database::try_from_specs(vec![
+            ItemSpec::new(0.5, 1.0),
+            ItemSpec::new(0.3, 2.0),
+            ItemSpec::new(0.2, 3.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn trait_object_and_ref_impls_work() {
+        let rr = RoundRobin;
+        let by_ref: &dyn ChannelAllocator = &rr;
+        let boxed: Box<dyn ChannelAllocator> = Box::new(RoundRobin);
+        let db = db();
+        assert_eq!(by_ref.name(), "round-robin");
+        assert_eq!(boxed.name(), "round-robin");
+        let a = by_ref.allocate(&db, 2).unwrap();
+        let b = boxed.allocate(&db, 2).unwrap();
+        assert_eq!(a.assignment(), b.assignment());
+        assert_eq!((&&rr).name(), "round-robin");
+    }
+
+    #[test]
+    fn model_errors_convert() {
+        let rr = RoundRobin;
+        let err = rr.allocate(&db(), 0).unwrap_err();
+        assert!(matches!(err, AllocError::Model(ModelError::ZeroChannels)));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn display_for_all_variants() {
+        for e in [
+            AllocError::Infeasible { reason: "k > n".into() },
+            AllocError::TooLarge { items: 30, limit: 14 },
+            AllocError::InvalidParameter { name: "pop", constraint: "must be > 0" },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,351 @@
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::item::{DataItem, ItemId, ItemSpec};
+
+/// Tolerance for "frequencies sum to 1" checks.
+pub(crate) const FREQ_SUM_TOLERANCE: f64 = 1e-6;
+
+/// The broadcast database `D`: the immutable set of `N` data items to be
+/// disseminated, each with an access frequency and a size.
+///
+/// Frequencies are normalized to sum to exactly 1 at construction, which
+/// makes every downstream quantity (cost, waiting time) directly
+/// comparable to the paper's analytical model.
+///
+/// # Example
+///
+/// ```
+/// use dbcast_model::{Database, ItemSpec};
+/// # fn main() -> Result<(), dbcast_model::ModelError> {
+/// let db = Database::try_from_specs(vec![
+///     ItemSpec::new(3.0, 2.0), // raw popularity counts are fine;
+///     ItemSpec::new(1.0, 8.0), // they are normalized to sum to 1
+/// ])?;
+/// assert_eq!(db.len(), 2);
+/// assert!((db.item(0.into())?.frequency() - 0.75).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Database {
+    items: Vec<DataItem>,
+}
+
+impl Database {
+    /// Builds a database from `(frequency, size)` specs, validating every
+    /// entry and normalizing frequencies so that they sum to 1.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::EmptyDatabase`] if `specs` is empty.
+    /// * [`ModelError::InvalidFrequency`] / [`ModelError::InvalidSize`]
+    ///   if any entry is non-finite or not strictly positive.
+    pub fn try_from_specs<I>(specs: I) -> Result<Self, ModelError>
+    where
+        I: IntoIterator<Item = ItemSpec>,
+    {
+        let specs: Vec<ItemSpec> = specs.into_iter().collect();
+        if specs.is_empty() {
+            return Err(ModelError::EmptyDatabase);
+        }
+        for (index, s) in specs.iter().enumerate() {
+            if !s.frequency.is_finite() || s.frequency <= 0.0 {
+                return Err(ModelError::InvalidFrequency { index, value: s.frequency });
+            }
+            if !s.size.is_finite() || s.size <= 0.0 {
+                return Err(ModelError::InvalidSize { index, value: s.size });
+            }
+        }
+        let total: f64 = specs.iter().map(|s| s.frequency).sum();
+        let items = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| DataItem::new(ItemId::new(i), s.frequency / total, s.size))
+            .collect();
+        Ok(Database { items })
+    }
+
+    /// Builds a database from already-normalized specs, rejecting inputs
+    /// whose frequencies do not sum to 1 within `1e-6`.
+    ///
+    /// Useful when reproducing published profiles (e.g. the paper's
+    /// Table 2) where the exact frequencies matter.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Database::try_from_specs`] rejects, plus
+    /// [`ModelError::UnnormalizedFrequencies`] when the sum is off.
+    pub fn try_from_normalized_specs<I>(specs: I) -> Result<Self, ModelError>
+    where
+        I: IntoIterator<Item = ItemSpec>,
+    {
+        let specs: Vec<ItemSpec> = specs.into_iter().collect();
+        let sum: f64 = specs.iter().map(|s| s.frequency).sum();
+        if specs.is_empty() {
+            return Err(ModelError::EmptyDatabase);
+        }
+        if (sum - 1.0).abs() > FREQ_SUM_TOLERANCE {
+            return Err(ModelError::UnnormalizedFrequencies { sum });
+        }
+        // Do NOT renormalize: keep the published values bit-exact.
+        for (index, s) in specs.iter().enumerate() {
+            if !s.frequency.is_finite() || s.frequency <= 0.0 {
+                return Err(ModelError::InvalidFrequency { index, value: s.frequency });
+            }
+            if !s.size.is_finite() || s.size <= 0.0 {
+                return Err(ModelError::InvalidSize { index, value: s.size });
+            }
+        }
+        let items = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| DataItem::new(ItemId::new(i), s.frequency, s.size))
+            .collect();
+        Ok(Database { items })
+    }
+
+    /// Number of items `N`.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the database is empty (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Looks up an item by id.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::ItemOutOfRange`] if `id` does not name an item.
+    pub fn item(&self, id: ItemId) -> Result<&DataItem, ModelError> {
+        self.items.get(id.index()).ok_or(ModelError::ItemOutOfRange {
+            item: id.index(),
+            items: self.items.len(),
+        })
+    }
+
+    /// All items in id order.
+    pub fn items(&self) -> &[DataItem] {
+        &self.items
+    }
+
+    /// Iterates over items in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, DataItem> {
+        self.items.iter()
+    }
+
+    /// Item ids sorted by benefit ratio `f/z`, **descending** — the input
+    /// order required by DRP and VF^K-style partitioning algorithms.
+    ///
+    /// Ties are broken by item id so the order is deterministic.
+    pub fn ids_by_benefit_ratio_desc(&self) -> Vec<ItemId> {
+        let mut ids: Vec<ItemId> = self.items.iter().map(DataItem::id).collect();
+        ids.sort_by(|a, b| {
+            let ra = self.items[a.index()].benefit_ratio();
+            let rb = self.items[b.index()].benefit_ratio();
+            rb.cmp(&ra).then_with(|| a.cmp(b))
+        });
+        ids
+    }
+
+    /// Item ids sorted by access frequency, **descending** (the order
+    /// conventional equal-size algorithms such as VF^K expect).
+    pub fn ids_by_frequency_desc(&self) -> Vec<ItemId> {
+        let mut ids: Vec<ItemId> = self.items.iter().map(DataItem::id).collect();
+        ids.sort_by(|a, b| {
+            let fa = self.items[a.index()].frequency();
+            let fb = self.items[b.index()].frequency();
+            fb.total_cmp(&fa).then_with(|| a.cmp(b))
+        });
+        ids
+    }
+
+    /// Summary statistics over the database.
+    pub fn stats(&self) -> DatabaseStats {
+        let n = self.items.len() as f64;
+        let total_size: f64 = self.items.iter().map(DataItem::size).sum();
+        let total_frequency: f64 = self.items.iter().map(DataItem::frequency).sum();
+        let weighted_size: f64 = self.items.iter().map(|d| d.frequency() * d.size()).sum();
+        let min_size = self
+            .items
+            .iter()
+            .map(DataItem::size)
+            .fold(f64::INFINITY, f64::min);
+        let max_size = self
+            .items
+            .iter()
+            .map(DataItem::size)
+            .fold(f64::NEG_INFINITY, f64::max);
+        DatabaseStats {
+            items: self.items.len(),
+            total_frequency,
+            total_size,
+            mean_size: total_size / n,
+            min_size,
+            max_size,
+            weighted_size,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Database {
+    type Item = &'a DataItem;
+    type IntoIter = std::slice::Iter<'a, DataItem>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+/// Aggregate statistics of a [`Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatabaseStats {
+    /// Number of items `N`.
+    pub items: usize,
+    /// Sum of all access frequencies (1.0 up to rounding).
+    pub total_frequency: f64,
+    /// Sum of all item sizes (the flat one-channel cycle length).
+    pub total_size: f64,
+    /// Mean item size.
+    pub mean_size: f64,
+    /// Smallest item size.
+    pub min_size: f64,
+    /// Largest item size.
+    pub max_size: f64,
+    /// `Σ f_j · z_j` — the allocation-independent download term of Eq. 2
+    /// (before dividing by bandwidth).
+    pub weighted_size: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db3() -> Database {
+        Database::try_from_specs(vec![
+            ItemSpec::new(0.5, 2.0),
+            ItemSpec::new(0.3, 4.0),
+            ItemSpec::new(0.2, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            Database::try_from_specs(Vec::new()),
+            Err(ModelError::EmptyDatabase)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_frequency_and_size() {
+        assert!(matches!(
+            Database::try_from_specs(vec![ItemSpec::new(0.0, 1.0)]),
+            Err(ModelError::InvalidFrequency { index: 0, .. })
+        ));
+        assert!(matches!(
+            Database::try_from_specs(vec![ItemSpec::new(f64::NAN, 1.0)]),
+            Err(ModelError::InvalidFrequency { index: 0, .. })
+        ));
+        assert!(matches!(
+            Database::try_from_specs(vec![ItemSpec::new(1.0, -2.0)]),
+            Err(ModelError::InvalidSize { index: 0, .. })
+        ));
+        assert!(matches!(
+            Database::try_from_specs(vec![ItemSpec::new(1.0, f64::INFINITY)]),
+            Err(ModelError::InvalidSize { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn normalizes_frequencies() {
+        let db = Database::try_from_specs(vec![ItemSpec::new(2.0, 1.0), ItemSpec::new(6.0, 1.0)])
+            .unwrap();
+        let f: Vec<f64> = db.iter().map(|d| d.frequency()).collect();
+        assert!((f[0] - 0.25).abs() < 1e-12);
+        assert!((f[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_constructor_rejects_off_sum() {
+        let err = Database::try_from_normalized_specs(vec![
+            ItemSpec::new(0.5, 1.0),
+            ItemSpec::new(0.4, 1.0),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, ModelError::UnnormalizedFrequencies { .. }));
+    }
+
+    #[test]
+    fn normalized_constructor_keeps_exact_values() {
+        let db = Database::try_from_normalized_specs(vec![
+            ItemSpec::new(0.5, 1.0),
+            ItemSpec::new(0.5, 3.0),
+        ])
+        .unwrap();
+        assert_eq!(db.item(ItemId::new(0)).unwrap().frequency(), 0.5);
+    }
+
+    #[test]
+    fn item_lookup_in_and_out_of_range() {
+        let db = db3();
+        assert_eq!(db.item(ItemId::new(2)).unwrap().size(), 1.0);
+        assert_eq!(
+            db.item(ItemId::new(3)),
+            Err(ModelError::ItemOutOfRange { item: 3, items: 3 })
+        );
+    }
+
+    #[test]
+    fn benefit_ratio_order_is_descending_with_id_tiebreak() {
+        // br: d0 = 0.25, d1 = 0.075, d2 = 0.2
+        let db = db3();
+        let order = db.ids_by_benefit_ratio_desc();
+        assert_eq!(order, vec![ItemId::new(0), ItemId::new(2), ItemId::new(1)]);
+
+        // Exact ties fall back to id order.
+        let tied = Database::try_from_specs(vec![
+            ItemSpec::new(0.5, 1.0),
+            ItemSpec::new(0.5, 1.0),
+        ])
+        .unwrap();
+        assert_eq!(
+            tied.ids_by_benefit_ratio_desc(),
+            vec![ItemId::new(0), ItemId::new(1)]
+        );
+    }
+
+    #[test]
+    fn frequency_order_is_descending() {
+        let db = db3();
+        assert_eq!(
+            db.ids_by_frequency_desc(),
+            vec![ItemId::new(0), ItemId::new(1), ItemId::new(2)]
+        );
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let db = db3();
+        let s = db.stats();
+        assert_eq!(s.items, 3);
+        assert!((s.total_frequency - 1.0).abs() < 1e-12);
+        assert!((s.total_size - 7.0).abs() < 1e-12);
+        assert!((s.mean_size - 7.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min_size, 1.0);
+        assert_eq!(s.max_size, 4.0);
+        // Σ f z = 0.5*2 + 0.3*4 + 0.2*1 = 2.4
+        assert!((s.weighted_size - 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iteration_yields_id_order() {
+        let db = db3();
+        let ids: Vec<usize> = (&db).into_iter().map(|d| d.id().index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,212 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a data item: its index into the owning [`Database`].
+///
+/// Item ids are stable for the lifetime of a database; allocations and
+/// broadcast programs refer to items by id.
+///
+/// [`Database`]: crate::Database
+///
+/// # Example
+///
+/// ```
+/// use dbcast_model::ItemId;
+/// let id = ItemId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(id.to_string(), "d3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct ItemId(usize);
+
+impl ItemId {
+    /// Creates an item id from a raw database index.
+    pub const fn new(index: usize) -> Self {
+        ItemId(index)
+    }
+
+    /// Returns the underlying database index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl From<usize> for ItemId {
+    fn from(index: usize) -> Self {
+        ItemId(index)
+    }
+}
+
+impl From<ItemId> for usize {
+    fn from(id: ItemId) -> Self {
+        id.0
+    }
+}
+
+/// The raw `(frequency, size)` pair used to build database entries.
+///
+/// `ItemSpec` carries no identity; identities ([`ItemId`]s) are assigned
+/// by the [`Database`](crate::Database) constructor in insertion order.
+///
+/// # Example
+///
+/// ```
+/// use dbcast_model::ItemSpec;
+/// let spec = ItemSpec::new(0.25, 10.0);
+/// assert_eq!(spec.frequency, 0.25);
+/// assert_eq!(spec.size, 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ItemSpec {
+    /// Access frequency (relative popularity). Must be finite and `> 0`.
+    pub frequency: f64,
+    /// Item size in abstract size units. Must be finite and `> 0`.
+    pub size: f64,
+}
+
+impl ItemSpec {
+    /// Creates a new spec from a frequency and a size.
+    pub const fn new(frequency: f64, size: f64) -> Self {
+        ItemSpec { frequency, size }
+    }
+}
+
+/// A data item in the broadcast database.
+///
+/// In the diverse-broadcast model every item carries two features: its
+/// access frequency `f` (the probability that a client request targets
+/// this item; frequencies sum to 1 across the database) and its size `z`
+/// in abstract size units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataItem {
+    id: ItemId,
+    frequency: f64,
+    size: f64,
+}
+
+impl DataItem {
+    /// Creates an item. Intended for use by [`Database`](crate::Database);
+    /// invariants (positive finite frequency/size) are enforced there.
+    pub(crate) const fn new(id: ItemId, frequency: f64, size: f64) -> Self {
+        DataItem { id, frequency, size }
+    }
+
+    /// The item's identifier (index into its database).
+    pub const fn id(&self) -> ItemId {
+        self.id
+    }
+
+    /// The item's access frequency `f`.
+    pub const fn frequency(&self) -> f64 {
+        self.frequency
+    }
+
+    /// The item's size `z` in size units.
+    pub const fn size(&self) -> f64 {
+        self.size
+    }
+
+    /// The item's *benefit ratio* `br = f / z` (paper §3.1).
+    ///
+    /// High benefit ratio means "popular and cheap to rebroadcast"; DRP
+    /// sorts items on this quantity to reduce the two-dimensional
+    /// grouping problem to a one-dimensional partitioning problem.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dbcast_model::{Database, ItemSpec};
+    /// # fn main() -> Result<(), dbcast_model::ModelError> {
+    /// let db = Database::try_from_specs(vec![ItemSpec::new(1.0, 4.0)])?;
+    /// assert_eq!(db.item(0.into())?.benefit_ratio().value(), 0.25);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn benefit_ratio(&self) -> BenefitRatio {
+        BenefitRatio(self.frequency / self.size)
+    }
+}
+
+/// The benefit ratio `br = f / z` of an item, a total-orderable newtype.
+///
+/// Benefit ratios of valid items are always finite and positive, so the
+/// `Ord` implementation (via total ordering on the bits of a finite
+/// `f64`) is well-behaved.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenefitRatio(f64);
+
+impl BenefitRatio {
+    /// The ratio as a bare `f64`.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for BenefitRatio {}
+
+impl PartialOrd for BenefitRatio {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BenefitRatio {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Valid items guarantee finite, positive ratios; total_cmp keeps
+        // this correct even for exotic values that slip through.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Display for BenefitRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_id_roundtrip_and_display() {
+        let id = ItemId::new(7);
+        assert_eq!(usize::from(id), 7);
+        assert_eq!(ItemId::from(7usize), id);
+        assert_eq!(id.to_string(), "d7");
+    }
+
+    #[test]
+    fn benefit_ratio_is_frequency_over_size() {
+        let item = DataItem::new(ItemId::new(0), 0.2, 4.0);
+        assert!((item.benefit_ratio().value() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn benefit_ratio_ordering_is_total_and_sensible() {
+        let lo = BenefitRatio(0.1);
+        let hi = BenefitRatio(0.9);
+        assert!(lo < hi);
+        assert_eq!(lo.max(hi), hi);
+
+        let mut v = vec![BenefitRatio(0.5), BenefitRatio(0.1), BenefitRatio(0.9)];
+        v.sort();
+        assert_eq!(v, vec![BenefitRatio(0.1), BenefitRatio(0.5), BenefitRatio(0.9)]);
+    }
+
+    #[test]
+    fn spec_constructor_is_plain_data() {
+        let s = ItemSpec::new(0.3, 2.5);
+        assert_eq!(s, ItemSpec { frequency: 0.3, size: 2.5 });
+    }
+}

@@ -1,0 +1,223 @@
+//! The analytical waiting-time model of diverse data broadcasting
+//! (paper Eq. 1 and Eq. 2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::allocation::Allocation;
+use crate::database::Database;
+use crate::error::ModelError;
+use crate::item::ItemId;
+
+fn check_bandwidth(bandwidth: f64) -> Result<(), ModelError> {
+    if !bandwidth.is_finite() || bandwidth <= 0.0 {
+        return Err(ModelError::InvalidBandwidth { value: bandwidth });
+    }
+    Ok(())
+}
+
+/// Expected waiting time for one item (Eq. 1):
+/// `W_j^(i) = Z_i / (2b) + z_j / b`, where `Z_i` is the aggregate size of
+/// the item's channel.
+///
+/// # Errors
+///
+/// * [`ModelError::InvalidBandwidth`] for non-positive bandwidth.
+/// * [`ModelError::ItemOutOfRange`] for unknown items.
+pub fn item_waiting_time(
+    db: &Database,
+    alloc: &Allocation,
+    item: ItemId,
+    bandwidth: f64,
+) -> Result<f64, ModelError> {
+    check_bandwidth(bandwidth)?;
+    let d = db.item(item)?;
+    let ch = alloc.channel_of(item)?;
+    let stats = alloc.channel_stats(ch)?;
+    Ok(stats.size / (2.0 * bandwidth) + d.size() / bandwidth)
+}
+
+/// Frequency-weighted average waiting time of one channel
+/// (`W^(i)` in the paper):
+/// `Z_i / (2b) + (Σ_j f_j z_j) / (b F_i)`.
+///
+/// Returns `0.0` for an empty channel (nothing can be requested there).
+///
+/// # Errors
+///
+/// * [`ModelError::InvalidBandwidth`] for non-positive bandwidth.
+/// * [`ModelError::ChannelOutOfRange`] for unknown channels.
+pub fn channel_waiting_time(
+    db: &Database,
+    alloc: &Allocation,
+    channel: crate::ChannelId,
+    bandwidth: f64,
+) -> Result<f64, ModelError> {
+    check_bandwidth(bandwidth)?;
+    let stats = alloc.channel_stats(channel)?;
+    if stats.items == 0 {
+        return Ok(0.0);
+    }
+    let mut weighted_download = 0.0;
+    for (item, &ch) in alloc.assignment().iter().enumerate() {
+        if ch == channel.index() {
+            let d = &db.items()[item];
+            weighted_download += d.frequency() * d.size();
+        }
+    }
+    Ok(stats.size / (2.0 * bandwidth) + weighted_download / (bandwidth * stats.frequency))
+}
+
+/// The probe/download decomposition of the program-level average waiting
+/// time `W_b` (Eq. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaitingTimeBreakdown {
+    /// Probe term `(1/2b) Σ_i F_i Z_i` — the only allocation-dependent
+    /// part; equals `cost / (2b)`.
+    pub probe: f64,
+    /// Download term `(1/b) Σ_j f_j z_j` — fixed by the database.
+    pub download: f64,
+}
+
+impl WaitingTimeBreakdown {
+    /// Total expected waiting time `W_b = probe + download`.
+    pub fn total(&self) -> f64 {
+        self.probe + self.download
+    }
+}
+
+/// Program-level expected waiting time `W_b` (Eq. 2), decomposed into
+/// probe and download terms.
+///
+/// # Errors
+///
+/// [`ModelError::InvalidBandwidth`] for non-positive bandwidth;
+/// [`ModelError::AssignmentLength`] if `alloc` was not built over `db`.
+///
+/// # Example
+///
+/// ```
+/// use dbcast_model::{average_waiting_time, Allocation, Database, ItemSpec};
+/// # fn main() -> Result<(), dbcast_model::ModelError> {
+/// let db = Database::try_from_specs(vec![
+///     ItemSpec::new(0.5, 4.0),
+///     ItemSpec::new(0.5, 4.0),
+/// ])?;
+/// let alloc = Allocation::from_assignment(&db, 1, vec![0, 0])?;
+/// let w = average_waiting_time(&db, &alloc, 10.0)?;
+/// // One channel, cycle 8: probe = 8/(2·10) = 0.4, download = 4/10.
+/// assert!((w.probe - 0.4).abs() < 1e-12);
+/// assert!((w.download - 0.4).abs() < 1e-12);
+/// assert!((w.total() - 0.8).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn average_waiting_time(
+    db: &Database,
+    alloc: &Allocation,
+    bandwidth: f64,
+) -> Result<WaitingTimeBreakdown, ModelError> {
+    check_bandwidth(bandwidth)?;
+    if alloc.items() != db.len() {
+        return Err(ModelError::AssignmentLength {
+            expected: db.len(),
+            actual: alloc.items(),
+        });
+    }
+    let probe = alloc.total_cost() / (2.0 * bandwidth);
+    let download = db.stats().weighted_size / bandwidth;
+    Ok(WaitingTimeBreakdown { probe, download })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::ChannelId;
+    use crate::item::ItemSpec;
+
+    fn db() -> Database {
+        Database::try_from_specs(vec![
+            ItemSpec::new(0.4, 2.0),
+            ItemSpec::new(0.3, 3.0),
+            ItemSpec::new(0.2, 5.0),
+            ItemSpec::new(0.1, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_bandwidth() {
+        let db = db();
+        let alloc = Allocation::from_assignment(&db, 1, vec![0; 4]).unwrap();
+        for b in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(average_waiting_time(&db, &alloc, b).is_err());
+            assert!(item_waiting_time(&db, &alloc, ItemId::new(0), b).is_err());
+        }
+    }
+
+    #[test]
+    fn item_waiting_time_matches_eq1() {
+        let db = db();
+        let alloc = Allocation::from_assignment(&db, 2, vec![0, 0, 1, 1]).unwrap();
+        // Channel 0 aggregate size = 5, item 1 size = 3, b = 10:
+        // W = 5/(20) + 3/10 = 0.25 + 0.3
+        let w = item_waiting_time(&db, &alloc, ItemId::new(1), 10.0).unwrap();
+        assert!((w - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_waiting_time_is_weighted_item_average() {
+        let db = db();
+        let alloc = Allocation::from_assignment(&db, 2, vec![0, 0, 1, 1]).unwrap();
+        let ch = ChannelId::new(0);
+        let expected = {
+            // Weighted by f within the channel, normalized by F_0.
+            let w0 = item_waiting_time(&db, &alloc, ItemId::new(0), 10.0).unwrap();
+            let w1 = item_waiting_time(&db, &alloc, ItemId::new(1), 10.0).unwrap();
+            (0.4 * w0 + 0.3 * w1) / 0.7
+        };
+        let got = channel_waiting_time(&db, &alloc, ch, 10.0).unwrap();
+        assert!((got - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_channel_waits_zero() {
+        let db = db();
+        let alloc = Allocation::from_assignment(&db, 2, vec![0, 0, 0, 0]).unwrap();
+        let w = channel_waiting_time(&db, &alloc, ChannelId::new(1), 10.0).unwrap();
+        assert_eq!(w, 0.0);
+    }
+
+    #[test]
+    fn wb_is_frequency_weighted_average_of_channel_waits() {
+        // Eq. 2 is derived as Σ_i F_i · W^(i); check both paths agree.
+        let db = db();
+        let alloc = Allocation::from_assignment(&db, 2, vec![0, 1, 0, 1]).unwrap();
+        let b = 10.0;
+        let mut weighted = 0.0;
+        for c in 0..2 {
+            let ch = ChannelId::new(c);
+            let f = alloc.channel_stats(ch).unwrap().frequency;
+            weighted += f * channel_waiting_time(&db, &alloc, ch, b).unwrap();
+        }
+        let direct = average_waiting_time(&db, &alloc, b).unwrap().total();
+        assert!((weighted - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn download_term_is_allocation_independent() {
+        let db = db();
+        let a = Allocation::from_assignment(&db, 2, vec![0, 0, 1, 1]).unwrap();
+        let b = Allocation::from_assignment(&db, 2, vec![0, 1, 0, 1]).unwrap();
+        let wa = average_waiting_time(&db, &a, 5.0).unwrap();
+        let wb = average_waiting_time(&db, &b, 5.0).unwrap();
+        assert!((wa.download - wb.download).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_term_equals_cost_over_2b() {
+        let db = db();
+        let a = Allocation::from_assignment(&db, 3, vec![0, 1, 2, 0]).unwrap();
+        let w = average_waiting_time(&db, &a, 7.0).unwrap();
+        assert!((w.probe - a.total_cost() / 14.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,35 @@
+//! **Multi-item queries** over broadcast programs.
+//!
+//! The ICDCS 2005 paper optimizes per-item waiting time; its related
+//! work (\[9\]\[10\], Huang & Chen) studies clients whose requests span
+//! *several* dependent items — "weather + traffic + headlines". A
+//! single-tuner client must retrieve the items sequentially: while it
+//! downloads one item, occurrences of the others may slip by, so query
+//! latency depends on both the channel allocation *and* the order of
+//! items within each channel's cycle.
+//!
+//! This crate provides:
+//!
+//! * [`Query`] / [`QueryWorkloadBuilder`] — weighted multi-item query
+//!   workloads (query sizes and item choice both configurable),
+//! * [`retrieve`] — the greedy *nearest-completion-first* single-tuner
+//!   retrieval strategy, evaluated exactly against a
+//!   [`BroadcastProgram`](dbcast_model::BroadcastProgram),
+//! * latency [`bounds`](QueryRetrieval::lower_bound) — any retrieval
+//!   is at least the slowest single item and at most the sequential
+//!   sum,
+//! * [`affinity_order`] — co-access-aware intra-channel ordering that
+//!   places frequently co-queried items consecutively in the cycle, so
+//!   one pass picks them all up,
+//! * [`evaluate`] — mean query latency of a program under a workload.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ordering;
+mod retrieval;
+mod workload;
+
+pub use ordering::{affinity_order, CoAccessMatrix};
+pub use retrieval::{evaluate, retrieve, QueryEvaluation, QueryRetrieval, RetrievalStep};
+pub use workload::{Query, QueryWorkload, QueryWorkloadBuilder};

@@ -1,0 +1,74 @@
+//! Property-based tests of multi-item query retrieval.
+
+use dbcast_model::{Allocation, BroadcastProgram, Database, ItemId, ItemSpec};
+use dbcast_query::{retrieve, Query, QueryRetrieval};
+use proptest::prelude::*;
+
+fn instance() -> impl Strategy<Value = (Database, BroadcastProgram, Query, f64)> {
+    (
+        prop::collection::vec((0.01f64..10.0, 0.1f64..50.0), 1..25),
+        1usize..4,
+        prop::collection::vec(0usize..25, 1..6),
+        0.0f64..50.0,
+    )
+        .prop_map(|(pairs, k, raw_items, arrival)| {
+            let db = Database::try_from_specs(
+                pairs.into_iter().map(|(f, z)| ItemSpec::new(f, z)),
+            )
+            .unwrap();
+            let n = db.len();
+            let alloc =
+                Allocation::from_assignment(&db, k, (0..n).map(|i| i % k).collect())
+                    .unwrap();
+            let program = BroadcastProgram::new(&db, &alloc, 10.0).unwrap();
+            let items: Vec<ItemId> =
+                raw_items.into_iter().map(|i| ItemId::new(i % n)).collect();
+            (db, program, Query::new(items), arrival)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn retrieval_downloads_each_item_exactly_once((db, program, query, arrival) in instance()) {
+        let r = retrieve(&program, &query, arrival).unwrap();
+        prop_assert_eq!(r.steps.len(), query.len());
+        let mut got: Vec<ItemId> = r.steps.iter().map(|s| s.item).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got.as_slice(), query.items());
+        let _ = db;
+    }
+
+    #[test]
+    fn steps_are_causally_ordered((db, program, query, arrival) in instance()) {
+        let r = retrieve(&program, &query, arrival).unwrap();
+        let mut now = arrival;
+        for s in &r.steps {
+            prop_assert!(s.start >= now - 1e-9, "download began before tuner was free");
+            prop_assert!(s.completion > s.start);
+            // Download duration equals item size / bandwidth.
+            let z = db.items()[s.item.index()].size();
+            prop_assert!((s.completion - s.start - z / 10.0).abs() < 1e-9);
+            now = s.completion;
+        }
+    }
+
+    #[test]
+    fn latency_respects_bounds((db, program, query, arrival) in instance()) {
+        let r = retrieve(&program, &query, arrival).unwrap();
+        let lb = QueryRetrieval::lower_bound(&program, &query, arrival);
+        let wc = QueryRetrieval::worst_case_bound(&program, &query);
+        prop_assert!(r.latency() >= lb - 1e-9);
+        prop_assert!(r.latency() <= wc + 1e-9);
+        let _ = db;
+    }
+
+    #[test]
+    fn retrieval_is_deterministic((db, program, query, arrival) in instance()) {
+        let a = retrieve(&program, &query, arrival).unwrap();
+        let b = retrieve(&program, &query, arrival).unwrap();
+        prop_assert_eq!(a, b);
+        let _ = db;
+    }
+}

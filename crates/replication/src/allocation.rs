@@ -1,0 +1,200 @@
+//! The replicated allocation type.
+
+use dbcast_model::{
+    Allocation, BroadcastProgram, ChannelId, Database, ItemId, ModelError,
+};
+use serde::{Deserialize, Serialize};
+
+/// A disjoint base allocation plus extra `(item, channel)` replicas.
+///
+/// Invariants (enforced by [`add_replica`](Self::add_replica)):
+/// a replica never targets the item's base channel and never duplicates
+/// an existing replica.
+///
+/// # Example
+///
+/// ```
+/// use dbcast_model::{Allocation, ChannelId, Database, ItemId, ItemSpec};
+/// use dbcast_replication::ReplicatedAllocation;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let db = Database::try_from_specs(vec![
+///     ItemSpec::new(0.8, 1.0),
+///     ItemSpec::new(0.2, 4.0),
+/// ])?;
+/// let base = Allocation::from_assignment(&db, 2, vec![0, 1])?;
+/// let mut repl = ReplicatedAllocation::new(base);
+/// repl.add_replica(&db, ItemId::new(0), ChannelId::new(1))?;
+/// assert_eq!(repl.replicas().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicatedAllocation {
+    base: Allocation,
+    replicas: Vec<(ItemId, ChannelId)>,
+}
+
+impl ReplicatedAllocation {
+    /// Wraps a disjoint allocation with no replicas yet.
+    pub fn new(base: Allocation) -> Self {
+        ReplicatedAllocation { base, replicas: Vec::new() }
+    }
+
+    /// The underlying disjoint allocation.
+    pub fn base(&self) -> &Allocation {
+        &self.base
+    }
+
+    /// The replica list, in insertion order.
+    pub fn replicas(&self) -> &[(ItemId, ChannelId)] {
+        &self.replicas
+    }
+
+    /// Adds a replica of `item` on `channel`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::ItemOutOfRange`] / [`ModelError::ChannelOutOfRange`]
+    ///   for unknown ids.
+    /// * [`ModelError::ItemNotOnChannel`] (reused to signal the
+    ///   conflict) when the item already lives or is already replicated
+    ///   on that channel.
+    pub fn add_replica(
+        &mut self,
+        db: &Database,
+        item: ItemId,
+        channel: ChannelId,
+    ) -> Result<(), ModelError> {
+        db.item(item)?;
+        if channel.index() >= self.base.channels() {
+            return Err(ModelError::ChannelOutOfRange {
+                channel: channel.index(),
+                channels: self.base.channels(),
+            });
+        }
+        if self.base.channel_of(item)? == channel
+            || self.replicas.contains(&(item, channel))
+        {
+            return Err(ModelError::ItemNotOnChannel {
+                item: item.index(),
+                channel: channel.index(),
+            });
+        }
+        self.replicas.push((item, channel));
+        Ok(())
+    }
+
+    /// The channels carrying `item` (base channel first).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::ItemOutOfRange`] for unknown items.
+    pub fn channels_of(&self, item: ItemId) -> Result<Vec<ChannelId>, ModelError> {
+        let mut out = vec![self.base.channel_of(item)?];
+        out.extend(
+            self.replicas
+                .iter()
+                .filter(|(i, _)| *i == item)
+                .map(|&(_, c)| c),
+        );
+        Ok(out)
+    }
+
+    /// Per-channel groups including replicas (base members in id order,
+    /// then replicas in insertion order).
+    pub fn groups(&self) -> Vec<Vec<ItemId>> {
+        let mut groups = self.base.groups();
+        for &(item, ch) in &self.replicas {
+            groups[ch.index()].push(item);
+        }
+        groups
+    }
+
+    /// Aggregate size of each channel's cycle, including replicas.
+    pub fn cycle_sizes(&self, db: &Database) -> Vec<f64> {
+        let mut sizes: Vec<f64> = self
+            .base
+            .all_channel_stats()
+            .iter()
+            .map(|s| s.size)
+            .collect();
+        for &(item, ch) in &self.replicas {
+            sizes[ch.index()] += db.items()[item.index()].size();
+        }
+        sizes
+    }
+
+    /// Builds the (overlapping) broadcast program.
+    ///
+    /// # Errors
+    ///
+    /// Forwards [`BroadcastProgram::from_overlapping_groups`] errors.
+    pub fn to_program(
+        &self,
+        db: &Database,
+        bandwidth: f64,
+    ) -> Result<BroadcastProgram, ModelError> {
+        BroadcastProgram::from_overlapping_groups(db, &self.groups(), bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcast_model::ItemSpec;
+
+    fn setup() -> (Database, ReplicatedAllocation) {
+        let db = Database::try_from_specs(vec![
+            ItemSpec::new(0.5, 2.0),
+            ItemSpec::new(0.3, 3.0),
+            ItemSpec::new(0.2, 5.0),
+        ])
+        .unwrap();
+        let base = Allocation::from_assignment(&db, 2, vec![0, 0, 1]).unwrap();
+        (db, ReplicatedAllocation::new(base))
+    }
+
+    #[test]
+    fn replica_bookkeeping() {
+        let (db, mut repl) = setup();
+        repl.add_replica(&db, ItemId::new(0), ChannelId::new(1)).unwrap();
+        assert_eq!(
+            repl.channels_of(ItemId::new(0)).unwrap(),
+            vec![ChannelId::new(0), ChannelId::new(1)]
+        );
+        assert_eq!(repl.channels_of(ItemId::new(1)).unwrap(), vec![ChannelId::new(0)]);
+        // Cycle of channel 1 grew by item 0's size.
+        let sizes = repl.cycle_sizes(&db);
+        assert!((sizes[0] - 5.0).abs() < 1e-12);
+        assert!((sizes[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_replica_on_base_channel_and_duplicates() {
+        let (db, mut repl) = setup();
+        assert!(repl.add_replica(&db, ItemId::new(0), ChannelId::new(0)).is_err());
+        repl.add_replica(&db, ItemId::new(0), ChannelId::new(1)).unwrap();
+        assert!(repl.add_replica(&db, ItemId::new(0), ChannelId::new(1)).is_err());
+        assert!(repl.add_replica(&db, ItemId::new(9), ChannelId::new(1)).is_err());
+        assert!(repl.add_replica(&db, ItemId::new(0), ChannelId::new(5)).is_err());
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let (db, mut repl) = setup();
+        repl.add_replica(&db, ItemId::new(0), ChannelId::new(1)).unwrap();
+        let program = repl.to_program(&db, 10.0).unwrap();
+        assert_eq!(program.locate_all(ItemId::new(0)).len(), 2);
+        assert_eq!(program.locate_all(ItemId::new(2)).len(), 1);
+    }
+
+    #[test]
+    fn groups_include_replicas() {
+        let (db, mut repl) = setup();
+        repl.add_replica(&db, ItemId::new(2), ChannelId::new(0)).unwrap();
+        let groups = repl.groups();
+        assert_eq!(groups[0].len(), 3);
+        assert_eq!(groups[1].len(), 1);
+    }
+}

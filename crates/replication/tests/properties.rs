@@ -1,0 +1,88 @@
+//! Property-based tests of the replication extension.
+
+use dbcast_model::{Allocation, ChannelId, Database, ItemId, ItemSpec};
+use dbcast_replication::{approx_waiting_time, expected_min_probe, ReplicatedAllocation};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn min_probe_is_bounded_and_monotone(
+        cycles in prop::collection::vec(0.1f64..100.0, 1..6),
+    ) {
+        let e = expected_min_probe(&cycles);
+        let t_min = cycles.iter().cloned().fold(f64::INFINITY, f64::min);
+        // Bounds: adding channels can only reduce the wait below the
+        // single-best-channel expectation; and the wait is positive.
+        prop_assert!(e > 0.0);
+        prop_assert!(e <= t_min / 2.0 + 1e-9);
+        // Monotonicity: appending one more channel cannot increase it.
+        let mut extended = cycles.clone();
+        extended.push(50.0);
+        prop_assert!(expected_min_probe(&extended) <= e + 1e-9);
+    }
+
+    #[test]
+    fn equal_cycles_follow_the_uniform_order_statistic(
+        t in 0.5f64..50.0,
+        r in 1usize..6,
+    ) {
+        // E[min of r iid U(0,T)] = T/(r+1).
+        let cycles = vec![t; r];
+        let e = expected_min_probe(&cycles);
+        prop_assert!(
+            (e - t / (r as f64 + 1.0)).abs() < 1e-3 * t,
+            "r = {r}: {e} vs {}",
+            t / (r as f64 + 1.0)
+        );
+    }
+
+    #[test]
+    fn approx_equals_eq2_when_replica_free(
+        pairs in prop::collection::vec((0.01f64..10.0, 0.1f64..50.0), 1..25),
+        k in 1usize..4,
+    ) {
+        let db = Database::try_from_specs(
+            pairs.into_iter().map(|(f, z)| ItemSpec::new(f, z)),
+        )
+        .unwrap();
+        let n = db.len();
+        let alloc =
+            Allocation::from_assignment(&db, k, (0..n).map(|i| i % k).collect()).unwrap();
+        let repl = ReplicatedAllocation::new(alloc.clone());
+        let approx = approx_waiting_time(&db, &repl, 10.0).unwrap();
+        let exact = dbcast_model::average_waiting_time(&db, &alloc, 10.0)
+            .unwrap()
+            .total();
+        prop_assert!((approx - exact).abs() < 1e-6 * exact.max(1.0));
+    }
+
+    #[test]
+    fn replicas_always_extend_target_cycles(
+        pairs in prop::collection::vec((0.01f64..10.0, 0.1f64..50.0), 2..20),
+        replica_item in 0usize..20,
+    ) {
+        let db = Database::try_from_specs(
+            pairs.into_iter().map(|(f, z)| ItemSpec::new(f, z)),
+        )
+        .unwrap();
+        let n = db.len();
+        prop_assume!(n >= 2);
+        let alloc =
+            Allocation::from_assignment(&db, 2, (0..n).map(|i| i % 2).collect()).unwrap();
+        let mut repl = ReplicatedAllocation::new(alloc);
+        let item = ItemId::new(replica_item % n);
+        let home = repl.base().channel_of(item).unwrap();
+        let other = ChannelId::new(1 - home.index());
+        let before = repl.cycle_sizes(&db);
+        repl.add_replica(&db, item, other).unwrap();
+        let after = repl.cycle_sizes(&db);
+        let z = db.items()[item.index()].size();
+        prop_assert!((after[other.index()] - before[other.index()] - z).abs() < 1e-9);
+        prop_assert!((after[home.index()] - before[home.index()]).abs() < 1e-12);
+        // The program builds and carries the item twice.
+        let program = repl.to_program(&db, 10.0).unwrap();
+        prop_assert_eq!(program.locate_all(item).len(), 2);
+    }
+}

@@ -1,0 +1,199 @@
+//! The event heap at the core of the discrete-event engine.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use dbcast_model::{ChannelId, ItemId};
+
+/// A simulation event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A client request for `item` arrives (request index in the trace).
+    Arrival {
+        /// Index of the request in the driving trace.
+        request: usize,
+        /// The requested item.
+        item: ItemId,
+    },
+    /// The item a client waits for starts broadcasting on `channel`.
+    SlotStart {
+        /// Index of the request being served.
+        request: usize,
+        /// The channel delivering the item.
+        channel: ChannelId,
+    },
+    /// A client finishes downloading its item.
+    DownloadComplete {
+        /// Index of the request being served.
+        request: usize,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq); seq gives FIFO among
+        // simultaneous events, keeping runs fully deterministic.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-time event queue.
+///
+/// Events at equal timestamps pop in insertion order. Popping never
+/// travels back in time; scheduling an event before the last popped
+/// timestamp panics (in debug builds), catching engine bugs early.
+///
+/// # Example
+///
+/// ```
+/// use dbcast_model::ItemId;
+/// use dbcast_sim::{Event, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(2.0, Event::DownloadComplete { request: 1 });
+/// q.schedule(1.0, Event::Arrival { request: 0, item: ItemId::new(3) });
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!(t, 1.0);
+/// assert!(matches!(e, Event::Arrival { request: 0, .. }));
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+    now: f64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: 0.0 }
+    }
+
+    /// Schedules `event` at absolute `time`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when `time` is NaN or earlier than the last popped
+    /// timestamp (a causality violation).
+    pub fn schedule(&mut self, time: f64, event: Event) {
+        debug_assert!(!time.is_nan(), "event time must not be NaN");
+        debug_assert!(
+            time >= self.now,
+            "causality violation: scheduling at {time} after popping {}",
+            self.now
+        );
+        self.heap.push(Scheduled { time, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event, advancing the queue clock.
+    pub fn pop(&mut self) -> Option<(f64, Event)> {
+        let s = self.heap.pop()?;
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The timestamp of the last popped event (0 before any pop).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrival(request: usize) -> Event {
+        Event::Arrival { request, item: ItemId::new(0) }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, arrival(3));
+        q.schedule(1.0, arrival(1));
+        q.schedule(2.0, arrival(2));
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, arrival(10));
+        q.schedule(1.0, arrival(11));
+        q.schedule(1.0, arrival(12));
+        let order: Vec<usize> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                Event::Arrival { request, .. } => request,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(order, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0.0);
+        q.schedule(5.0, arrival(0));
+        q.pop();
+        assert_eq!(q.now(), 5.0);
+        // Scheduling at or after `now` is fine.
+        q.schedule(5.0, arrival(1));
+        q.schedule(7.0, arrival(2));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "causality violation")]
+    #[cfg(debug_assertions)]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, arrival(0));
+        q.pop();
+        q.schedule(4.0, arrival(1));
+    }
+
+    #[test]
+    fn empty_queue_pops_none() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

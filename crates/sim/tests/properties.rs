@@ -1,0 +1,102 @@
+//! Property-based tests of the simulator's conservation laws and the
+//! statistics machinery.
+
+use dbcast_model::{Allocation, BroadcastProgram, Database, ItemSpec};
+use dbcast_sim::{Simulation, SummaryStats};
+use dbcast_workload::TraceBuilder;
+use proptest::prelude::*;
+
+fn db_and_program() -> impl Strategy<Value = (Database, BroadcastProgram)> {
+    (
+        prop::collection::vec((0.01f64..10.0, 0.1f64..50.0), 1..25),
+        1usize..4,
+        1.0f64..50.0,
+    )
+        .prop_map(|(pairs, k, bandwidth)| {
+            let db = Database::try_from_specs(
+                pairs.into_iter().map(|(f, z)| ItemSpec::new(f, z)),
+            )
+            .unwrap();
+            let n = db.len();
+            let alloc =
+                Allocation::from_assignment(&db, k, (0..n).map(|i| i % k).collect())
+                    .unwrap();
+            let program = BroadcastProgram::new(&db, &alloc, bandwidth).unwrap();
+            (db, program)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simulation_conserves_requests_and_time(
+        (db, program) in db_and_program(),
+        requests in 0usize..300,
+        seed in 0u64..100,
+    ) {
+        let trace = TraceBuilder::new(&db).requests(requests).seed(seed).build().unwrap();
+        let report = Simulation::new(&program, &trace).run().unwrap();
+        prop_assert_eq!(report.completed(), requests);
+        prop_assert_eq!(report.events_processed(), 3 * requests as u64);
+        let served: u64 = report.channel_loads().iter().map(|l| l.requests).sum();
+        prop_assert_eq!(served, requests as u64);
+        for (r, req) in report.records().iter().zip(trace.iter()) {
+            prop_assert!((r.arrival - req.time).abs() < 1e-12);
+            prop_assert!(r.slot_start >= r.arrival - 1e-9);
+            prop_assert!(r.completion > r.slot_start);
+            // Download time equals item size / bandwidth exactly.
+            let z = db.items()[r.item.index()].size();
+            prop_assert!((r.download_time() - z / program.bandwidth()).abs() < 1e-9);
+            // Probe never exceeds one cycle of the serving channel.
+            let cycle = program.channels()[r.channel.index()].cycle_size()
+                / program.bandwidth();
+            prop_assert!(r.probe_time() <= cycle + 1e-9);
+        }
+    }
+
+    #[test]
+    fn summary_stats_match_naive_computation(samples in prop::collection::vec(0.0f64..1e4, 2..200)) {
+        let mut s = SummaryStats::new();
+        for &x in &samples {
+            s.record(x);
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.max(1.0));
+        prop_assert!((s.variance().unwrap() - var).abs() < 1e-6 * var.max(1.0));
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min().unwrap(), min);
+        prop_assert_eq!(s.max().unwrap(), max);
+        // Percentiles are monotone and bounded.
+        let p10 = s.percentile(10.0).unwrap();
+        let p50 = s.percentile(50.0).unwrap();
+        let p90 = s.percentile(90.0).unwrap();
+        prop_assert!(min <= p10 && p10 <= p50 && p50 <= p90 && p90 <= max);
+    }
+
+    #[test]
+    fn merged_stats_equal_sequential_stats(
+        a in prop::collection::vec(0.0f64..100.0, 0..50),
+        b in prop::collection::vec(0.0f64..100.0, 0..50),
+    ) {
+        let mut sa = SummaryStats::new();
+        for &x in &a { sa.record(x); }
+        let mut sb = SummaryStats::new();
+        for &x in &b { sb.record(x); }
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+
+        let mut reference = SummaryStats::new();
+        for &x in a.iter().chain(&b) { reference.record(x); }
+        prop_assert_eq!(merged.count(), reference.count());
+        prop_assert!((merged.mean() - reference.mean()).abs() < 1e-9);
+        match (merged.variance(), reference.variance()) {
+            (Some(v1), Some(v2)) => prop_assert!((v1 - v2).abs() < 1e-6),
+            (None, None) => {}
+            _ => prop_assert!(false, "variance presence mismatch"),
+        }
+    }
+}

@@ -1,0 +1,94 @@
+use std::fmt;
+
+use dbcast_model::ModelError;
+
+/// Errors produced while generating or (de)serializing workloads.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A generation parameter is out of its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Rejected value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// The generated specs were rejected by the model layer.
+    Model(ModelError),
+    /// An I/O failure while persisting or loading a workload.
+    Io(std::io::Error),
+    /// A JSON (de)serialization failure.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidParameter { name, value, constraint } => {
+                write!(f, "parameter {name} = {value} is invalid: {constraint}")
+            }
+            WorkloadError::Model(e) => write!(f, "model rejected generated workload: {e}"),
+            WorkloadError::Io(e) => write!(f, "workload i/o failed: {e}"),
+            WorkloadError::Json(e) => write!(f, "workload serialization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Model(e) => Some(e),
+            WorkloadError::Io(e) => Some(e),
+            WorkloadError::Json(e) => Some(e),
+            WorkloadError::InvalidParameter { .. } => None,
+        }
+    }
+}
+
+impl From<ModelError> for WorkloadError {
+    fn from(e: ModelError) -> Self {
+        WorkloadError::Model(e)
+    }
+}
+
+impl From<std::io::Error> for WorkloadError {
+    fn from(e: std::io::Error) -> Self {
+        WorkloadError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for WorkloadError {
+    fn from(e: serde_json::Error) -> Self {
+        WorkloadError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errs: Vec<WorkloadError> = vec![
+            WorkloadError::InvalidParameter {
+                name: "theta",
+                value: -1.0,
+                constraint: "must be >= 0",
+            },
+            WorkloadError::Model(ModelError::EmptyDatabase),
+            WorkloadError::Io(std::io::Error::other("boom")),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e = WorkloadError::Model(ModelError::ZeroChannels);
+        assert!(e.source().is_some());
+    }
+}

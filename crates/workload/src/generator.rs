@@ -1,0 +1,157 @@
+//! The workload builder: Zipf frequencies × a size distribution.
+
+use dbcast_model::{Database, ItemSpec};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::error::WorkloadError;
+use crate::sizes::SizeDistribution;
+use crate::zipf::Zipf;
+
+/// Builds synthetic broadcast databases per the paper's §4.1 protocol.
+///
+/// Item `i` (1-based rank) receives Zipf frequency
+/// `f_i = (1/i)^θ / Σ (1/j)^θ` and an independently drawn size. Item ids
+/// follow rank order, so item 0 is always the most popular.
+///
+/// # Example
+///
+/// ```
+/// use dbcast_workload::{SizeDistribution, WorkloadBuilder};
+/// # fn main() -> Result<(), dbcast_workload::WorkloadError> {
+/// let db = WorkloadBuilder::new(60)
+///     .skewness(1.2)
+///     .sizes(SizeDistribution::Diversity { phi_max: 3.0 })
+///     .seed(7)
+///     .build()?;
+/// // Frequencies follow rank order.
+/// assert!(db.items()[0].frequency() > db.items()[59].frequency());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadBuilder {
+    items: usize,
+    theta: f64,
+    sizes: SizeDistribution,
+    seed: u64,
+}
+
+impl WorkloadBuilder {
+    /// Starts a builder for `items` data items with the paper's default
+    /// parameters (`θ = 0.8`, diversity `Φ = 2`, seed 0).
+    pub fn new(items: usize) -> Self {
+        WorkloadBuilder {
+            items,
+            theta: 0.8,
+            sizes: SizeDistribution::default(),
+            seed: 0,
+        }
+    }
+
+    /// Sets the Zipf skewness parameter `θ` (paper range `0.4..=1.6`).
+    pub fn skewness(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Sets the item-size distribution.
+    pub fn sizes(mut self, sizes: SizeDistribution) -> Self {
+        self.sizes = sizes;
+        self
+    }
+
+    /// Sets the RNG seed. Workloads are fully determined by
+    /// `(items, θ, sizes, seed)`.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the database.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::InvalidParameter`] for out-of-domain parameters;
+    /// [`WorkloadError::Model`] should model validation reject the
+    /// generated specs (cannot happen for validated parameters).
+    pub fn build(&self) -> Result<Database, WorkloadError> {
+        self.sizes.validate()?;
+        let zipf = Zipf::new(self.items, self.theta)?;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let specs: Vec<ItemSpec> = zipf
+            .pmf_slice()
+            .iter()
+            .map(|&f| ItemSpec::new(f, self.sizes.sample(&mut rng)))
+            .collect();
+        Ok(Database::try_from_specs(specs)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_requested_count() {
+        let db = WorkloadBuilder::new(180).seed(3).build().unwrap();
+        assert_eq!(db.len(), 180);
+    }
+
+    #[test]
+    fn zero_items_is_rejected() {
+        assert!(WorkloadBuilder::new(0).build().is_err());
+    }
+
+    #[test]
+    fn invalid_theta_is_rejected() {
+        assert!(WorkloadBuilder::new(10).skewness(-0.5).build().is_err());
+    }
+
+    #[test]
+    fn invalid_sizes_are_rejected() {
+        assert!(WorkloadBuilder::new(10)
+            .sizes(SizeDistribution::Fixed { size: -1.0 })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn same_seed_same_workload() {
+        let a = WorkloadBuilder::new(50).seed(11).build().unwrap();
+        let b = WorkloadBuilder::new(50).seed(11).build().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_sizes() {
+        let a = WorkloadBuilder::new(50).seed(1).build().unwrap();
+        let b = WorkloadBuilder::new(50).seed(2).build().unwrap();
+        assert_ne!(a, b);
+        // Frequencies are seed-independent (pure Zipf).
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.frequency(), y.frequency());
+        }
+    }
+
+    #[test]
+    fn frequencies_are_zipf_ranked() {
+        let db = WorkloadBuilder::new(30).skewness(1.0).seed(0).build().unwrap();
+        let f: Vec<f64> = db.iter().map(|d| d.frequency()).collect();
+        for w in f.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // f_1 / f_2 = 2^θ for θ = 1.
+        assert!((f[0] / f[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_sizes_reproduce_conventional_environment() {
+        let db = WorkloadBuilder::new(25)
+            .sizes(SizeDistribution::Fixed { size: 1.0 })
+            .build()
+            .unwrap();
+        assert!(db.iter().all(|d| d.size() == 1.0));
+    }
+}

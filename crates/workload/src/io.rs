@@ -1,0 +1,92 @@
+//! Persisting workloads as JSON artifacts.
+//!
+//! Databases serialize to a stable, human-inspectable JSON document so
+//! experiments can be archived and replayed bit-exactly.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use dbcast_model::Database;
+
+use crate::error::WorkloadError;
+
+/// Writes `db` as pretty-printed JSON to `writer`.
+///
+/// # Errors
+///
+/// [`WorkloadError::Json`] on serialization failure, [`WorkloadError::Io`]
+/// on write failure.
+pub fn save_database_to_writer<W: Write>(db: &Database, writer: W) -> Result<(), WorkloadError> {
+    serde_json::to_writer_pretty(writer, db)?;
+    Ok(())
+}
+
+/// Writes `db` as pretty-printed JSON to the file at `path`, creating or
+/// truncating it.
+///
+/// # Errors
+///
+/// [`WorkloadError::Io`] / [`WorkloadError::Json`].
+pub fn save_database<P: AsRef<Path>>(db: &Database, path: P) -> Result<(), WorkloadError> {
+    let file = File::create(path)?;
+    save_database_to_writer(db, BufWriter::new(file))
+}
+
+/// Reads a database from JSON in `reader`.
+///
+/// # Errors
+///
+/// [`WorkloadError::Json`] on malformed input.
+pub fn load_database_from_reader<R: Read>(reader: R) -> Result<Database, WorkloadError> {
+    Ok(serde_json::from_reader(reader)?)
+}
+
+/// Reads a database from the JSON file at `path`.
+///
+/// # Errors
+///
+/// [`WorkloadError::Io`] / [`WorkloadError::Json`].
+pub fn load_database<P: AsRef<Path>>(path: P) -> Result<Database, WorkloadError> {
+    let file = File::open(path)?;
+    load_database_from_reader(BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadBuilder;
+
+    #[test]
+    fn roundtrip_via_memory() {
+        let db = WorkloadBuilder::new(40).seed(6).build().unwrap();
+        let mut buf = Vec::new();
+        save_database_to_writer(&db, &mut buf).unwrap();
+        let back = load_database_from_reader(buf.as_slice()).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn roundtrip_via_file() {
+        let db = crate::paper::table2_profile();
+        let dir = std::env::temp_dir().join("dbcast-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table2.json");
+        save_database(&db, &path).unwrap();
+        let back = load_database(&path).unwrap();
+        assert_eq!(db, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_reported() {
+        let err = load_database_from_reader("not json".as_bytes()).unwrap_err();
+        assert!(matches!(err, WorkloadError::Json(_)));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_database("/definitely/not/a/real/path.json").unwrap_err();
+        assert!(matches!(err, WorkloadError::Io(_)));
+    }
+}

@@ -1,0 +1,92 @@
+//! Fixtures reproducing the paper's running example.
+//!
+//! Table 2 of Hung & Chen (ICDCS 2005) lists a 15-item broadcast profile
+//! used by Examples 1 and 2 (the DRP trace of Table 3 and the CDS trace
+//! of Table 4). The integration tests replay those tables against this
+//! fixture.
+
+use dbcast_model::{Database, ItemSpec};
+
+/// Raw `(frequency, size)` rows of the paper's Table 2, in item order
+/// `d_1 ..= d_15` (our ids `0 ..= 14`).
+pub const TABLE2_ROWS: [(f64, f64); 15] = [
+    (0.2374, 21.18), // d1
+    (0.1363, 4.77),  // d2
+    (0.0986, 3.59),  // d3
+    (0.0783, 15.34), // d4
+    (0.0655, 2.91),  // d5
+    (0.0566, 2.49),  // d6
+    (0.0500, 17.51), // d7
+    (0.0450, 10.86), // d8
+    (0.0409, 1.02),  // d9
+    (0.0376, 6.41),  // d10
+    (0.0349, 30.62), // d11
+    (0.0325, 4.09),  // d12
+    (0.0305, 5.33),  // d13
+    (0.0287, 7.74),  // d14
+    (0.0272, 1.74),  // d15
+];
+
+/// The paper's Table 2 profile as a [`Database`].
+///
+/// Frequencies in the paper sum to 1 within rounding (they total
+/// 1.0000 exactly), so the normalized constructor applies.
+///
+/// # Example
+///
+/// ```
+/// let db = dbcast_workload::paper::table2_profile();
+/// assert_eq!(db.len(), 15);
+/// // cost of the whole database as one group: 1.0 × 135.60 (Table 3a)
+/// let total_size: f64 = db.iter().map(|d| d.size()).sum();
+/// assert!((total_size - 135.6).abs() < 1e-9);
+/// ```
+pub fn table2_profile() -> Database {
+    Database::try_from_normalized_specs(TABLE2_ROWS.map(|(f, z)| ItemSpec::new(f, z)))
+        .expect("paper Table 2 profile is valid")
+}
+
+/// The paper's benefit-ratio order of Table 2 items, as printed in
+/// Table 3(a): `d9 d2 d3 d6 d5 d15 d1 d12 d10 d13 d4 d8 d14 d7 d11`
+/// (1-based paper labels).
+pub const TABLE3_BR_ORDER: [usize; 15] = [9, 2, 3, 6, 5, 15, 1, 12, 10, 13, 4, 8, 14, 7, 11];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let sum: f64 = TABLE2_ROWS.iter().map(|r| r.0).sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum = {sum}");
+    }
+
+    #[test]
+    fn profile_matches_rows_exactly() {
+        let db = table2_profile();
+        for (i, (f, z)) in TABLE2_ROWS.iter().enumerate() {
+            assert_eq!(db.items()[i].frequency(), *f);
+            assert_eq!(db.items()[i].size(), *z);
+        }
+    }
+
+    #[test]
+    fn initial_cost_is_135_60() {
+        // Table 3(a): cost(D) = 135.60.
+        let db = table2_profile();
+        let s = db.stats();
+        let cost = s.total_frequency * s.total_size;
+        assert!((cost - 135.60).abs() < 0.005, "cost = {cost}");
+    }
+
+    #[test]
+    fn benefit_ratio_order_matches_table3() {
+        let db = table2_profile();
+        let order: Vec<usize> = db
+            .ids_by_benefit_ratio_desc()
+            .into_iter()
+            .map(|id| id.index() + 1) // paper labels are 1-based
+            .collect();
+        assert_eq!(order, TABLE3_BR_ORDER.to_vec());
+    }
+}

@@ -1,0 +1,257 @@
+//! Item-size distributions for diverse-broadcast workloads.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::WorkloadError;
+
+/// How item sizes are drawn.
+///
+/// The paper's model is [`SizeDistribution::Diversity`]: sizes of `10^φ`
+/// size units with `φ ~ U[0, Φ]`, so `Φ = 0` degenerates to the
+/// conventional equal-size environment and `Φ = 3` spans three orders of
+/// magnitude. The other variants support broader experimentation
+/// (media libraries are often log-normal; web objects Pareto).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SizeDistribution {
+    /// Every item has the same size (the conventional environment).
+    Fixed {
+        /// The common size, in size units.
+        size: f64,
+    },
+    /// Paper §4.1: `size = 10^φ`, `φ ~ U[0, phi_max]`.
+    Diversity {
+        /// The diversity parameter `Φ`; `0` means all sizes are 1.
+        phi_max: f64,
+    },
+    /// Uniform over `[lo, hi]`.
+    Uniform {
+        /// Smallest possible size.
+        lo: f64,
+        /// Largest possible size.
+        hi: f64,
+    },
+    /// Log-normal: `exp(N(mu, sigma²))`.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal (must be `>= 0`).
+        sigma: f64,
+    },
+    /// Bounded Pareto with shape `alpha` on `[lo, hi]`.
+    Pareto {
+        /// Smallest possible size (scale), `> 0`.
+        lo: f64,
+        /// Largest possible size, `> lo`.
+        hi: f64,
+        /// Tail index, `> 0`. Smaller means heavier tail.
+        alpha: f64,
+    },
+}
+
+impl Default for SizeDistribution {
+    /// The paper's default diverse environment, `Φ = 2`.
+    fn default() -> Self {
+        SizeDistribution::Diversity { phi_max: 2.0 }
+    }
+}
+
+impl SizeDistribution {
+    /// Validates the distribution parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::InvalidParameter`] naming the offending field.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        let bad = |name: &'static str, value: f64, constraint: &'static str| {
+            Err(WorkloadError::InvalidParameter { name, value, constraint })
+        };
+        match *self {
+            SizeDistribution::Fixed { size } => {
+                if !size.is_finite() || size <= 0.0 {
+                    return bad("size", size, "must be finite and > 0");
+                }
+            }
+            SizeDistribution::Diversity { phi_max } => {
+                if !phi_max.is_finite() || phi_max < 0.0 {
+                    return bad("phi_max", phi_max, "must be finite and >= 0");
+                }
+            }
+            SizeDistribution::Uniform { lo, hi } => {
+                if !lo.is_finite() || lo <= 0.0 {
+                    return bad("lo", lo, "must be finite and > 0");
+                }
+                if !hi.is_finite() || hi < lo {
+                    return bad("hi", hi, "must be finite and >= lo");
+                }
+            }
+            SizeDistribution::LogNormal { mu, sigma } => {
+                if !mu.is_finite() {
+                    return bad("mu", mu, "must be finite");
+                }
+                if !sigma.is_finite() || sigma < 0.0 {
+                    return bad("sigma", sigma, "must be finite and >= 0");
+                }
+            }
+            SizeDistribution::Pareto { lo, hi, alpha } => {
+                if !lo.is_finite() || lo <= 0.0 {
+                    return bad("lo", lo, "must be finite and > 0");
+                }
+                if !hi.is_finite() || hi <= lo {
+                    return bad("hi", hi, "must be finite and > lo");
+                }
+                if !alpha.is_finite() || alpha <= 0.0 {
+                    return bad("alpha", alpha, "must be finite and > 0");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Draws one size. The result is always finite and `> 0` for
+    /// validated parameters.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            SizeDistribution::Fixed { size } => size,
+            SizeDistribution::Diversity { phi_max } => {
+                let phi: f64 = if phi_max == 0.0 { 0.0 } else { rng.gen::<f64>() * phi_max };
+                10f64.powf(phi)
+            }
+            SizeDistribution::Uniform { lo, hi } => {
+                if hi == lo {
+                    lo
+                } else {
+                    lo + rng.gen::<f64>() * (hi - lo)
+                }
+            }
+            SizeDistribution::LogNormal { mu, sigma } => {
+                (mu + sigma * standard_normal(rng)).exp()
+            }
+            SizeDistribution::Pareto { lo, hi, alpha } => {
+                // Inverse-CDF sampling of a bounded Pareto.
+                let u: f64 = rng.gen();
+                let l = lo.powf(alpha);
+                let h = hi.powf(alpha);
+                (-(u * h - u * l - h) / (h * l)).powf(-1.0 / alpha)
+            }
+        }
+    }
+}
+
+/// Box–Muller standard normal draw (avoids a rand_distr dependency).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        assert!(SizeDistribution::Fixed { size: 0.0 }.validate().is_err());
+        assert!(SizeDistribution::Diversity { phi_max: -1.0 }.validate().is_err());
+        assert!(SizeDistribution::Uniform { lo: 2.0, hi: 1.0 }.validate().is_err());
+        assert!(SizeDistribution::Uniform { lo: 0.0, hi: 1.0 }.validate().is_err());
+        assert!(SizeDistribution::LogNormal { mu: f64::NAN, sigma: 1.0 }.validate().is_err());
+        assert!(SizeDistribution::LogNormal { mu: 0.0, sigma: -1.0 }.validate().is_err());
+        assert!(SizeDistribution::Pareto { lo: 1.0, hi: 1.0, alpha: 1.0 }.validate().is_err());
+        assert!(SizeDistribution::Pareto { lo: 1.0, hi: 9.0, alpha: 0.0 }.validate().is_err());
+    }
+
+    #[test]
+    fn all_valid_variants_sample_positive_finite() {
+        let dists = [
+            SizeDistribution::Fixed { size: 3.0 },
+            SizeDistribution::Diversity { phi_max: 3.0 },
+            SizeDistribution::Uniform { lo: 0.5, hi: 4.0 },
+            SizeDistribution::LogNormal { mu: 1.0, sigma: 0.8 },
+            SizeDistribution::Pareto { lo: 1.0, hi: 1000.0, alpha: 1.2 },
+        ];
+        let mut r = rng();
+        for d in dists {
+            d.validate().unwrap();
+            for _ in 0..1000 {
+                let s = d.sample(&mut r);
+                assert!(s.is_finite() && s > 0.0, "{d:?} produced {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn diversity_zero_is_unit_size() {
+        let d = SizeDistribution::Diversity { phi_max: 0.0 };
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut r), 1.0);
+        }
+    }
+
+    #[test]
+    fn diversity_respects_exponent_range() {
+        let d = SizeDistribution::Diversity { phi_max: 3.0 };
+        let mut r = rng();
+        let mut max_seen = 0.0f64;
+        for _ in 0..10_000 {
+            let s = d.sample(&mut r);
+            assert!((1.0..=1000.0).contains(&s));
+            max_seen = max_seen.max(s);
+        }
+        // With 10k draws we should get well into the upper decade.
+        assert!(max_seen > 100.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds_and_handles_degenerate() {
+        let d = SizeDistribution::Uniform { lo: 2.0, hi: 5.0 };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let s = d.sample(&mut r);
+            assert!((2.0..=5.0).contains(&s));
+        }
+        let point = SizeDistribution::Uniform { lo: 3.0, hi: 3.0 };
+        assert_eq!(point.sample(&mut r), 3.0);
+    }
+
+    #[test]
+    fn pareto_stays_in_bounds() {
+        let d = SizeDistribution::Pareto { lo: 1.0, hi: 100.0, alpha: 1.5 };
+        let mut r = rng();
+        for _ in 0..5000 {
+            let s = d.sample(&mut r);
+            assert!((1.0..=100.0 + 1e-9).contains(&s), "out of bounds: {s}");
+        }
+    }
+
+    #[test]
+    fn lognormal_mean_is_roughly_right() {
+        // E[exp(N(mu, s^2))] = exp(mu + s^2/2)
+        let d = SizeDistribution::LogNormal { mu: 1.0, sigma: 0.5 };
+        let mut r = rng();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        let expected = (1.0f64 + 0.125).exp();
+        assert!((mean - expected).abs() / expected < 0.05, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn default_is_paper_midpoint() {
+        assert_eq!(
+            SizeDistribution::default(),
+            SizeDistribution::Diversity { phi_max: 2.0 }
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of workload generation.
+
+use dbcast_workload::{SizeDistribution, TraceBuilder, WorkloadBuilder, Zipf};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn zipf_is_normalized_sorted_and_positive(
+        n in 1usize..300,
+        theta in 0.0f64..3.0,
+    ) {
+        let z = Zipf::new(n, theta).unwrap();
+        let pmf = z.pmf_slice();
+        prop_assert_eq!(pmf.len(), n);
+        prop_assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for w in pmf.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-15);
+        }
+        prop_assert!(pmf.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_range(
+        n in 1usize..100,
+        theta in 0.0f64..2.0,
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let z = Zipf::new(n, theta).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let r = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&r));
+        }
+    }
+
+    #[test]
+    fn every_size_distribution_yields_positive_finite(
+        seed in 0u64..500,
+        phi in 0.0f64..3.5,
+        lo in 0.1f64..10.0,
+        spread in 0.0f64..100.0,
+        sigma in 0.0f64..2.0,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let dists = [
+            SizeDistribution::Fixed { size: lo },
+            SizeDistribution::Diversity { phi_max: phi },
+            SizeDistribution::Uniform { lo, hi: lo + spread },
+            SizeDistribution::LogNormal { mu: 0.5, sigma },
+            SizeDistribution::Pareto { lo, hi: lo + spread.max(0.1) + 0.1, alpha: 1.1 },
+        ];
+        for d in dists {
+            d.validate().unwrap();
+            for _ in 0..50 {
+                let s = d.sample(&mut rng);
+                prop_assert!(s.is_finite() && s > 0.0, "{d:?} -> {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic_and_sized(
+        n in 1usize..150,
+        theta in 0.0f64..2.0,
+        phi in 0.0f64..3.0,
+        seed in 0u64..100,
+    ) {
+        let build = || {
+            WorkloadBuilder::new(n)
+                .skewness(theta)
+                .sizes(SizeDistribution::Diversity { phi_max: phi })
+                .seed(seed)
+                .build()
+                .unwrap()
+        };
+        let a = build();
+        let b = build();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), n);
+        prop_assert!((a.stats().total_frequency - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traces_are_monotone_and_target_valid_items(
+        n in 1usize..50,
+        requests in 0usize..300,
+        rate in 0.1f64..100.0,
+        seed in 0u64..100,
+    ) {
+        let db = WorkloadBuilder::new(n).seed(seed).build().unwrap();
+        let trace = TraceBuilder::new(&db)
+            .requests(requests)
+            .arrival_rate(rate)
+            .seed(seed)
+            .build()
+            .unwrap();
+        prop_assert_eq!(trace.len(), requests);
+        let mut prev = 0.0;
+        for r in trace.iter() {
+            prop_assert!(r.time > prev);
+            prev = r.time;
+            prop_assert!(r.item.index() < n);
+        }
+    }
+
+    #[test]
+    fn trace_counts_sum_to_requests(
+        n in 1usize..30,
+        requests in 0usize..500,
+    ) {
+        let db = WorkloadBuilder::new(n).seed(1).build().unwrap();
+        let trace = TraceBuilder::new(&db).requests(requests).build().unwrap();
+        let total: usize = trace.item_counts(n).iter().sum();
+        prop_assert_eq!(total, requests);
+    }
+}

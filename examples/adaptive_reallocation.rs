@@ -1,0 +1,91 @@
+//! Adaptive reallocation: a broadcast server tracking a drifting access
+//! pattern (e.g. a breaking-news cycle) and regenerating its program as
+//! popularity shifts — the operational loop a real push-based
+//! information system runs.
+//!
+//! Each epoch, observed request counts re-estimate the access
+//! frequencies; the server re-runs DRP-CDS and we measure how much a
+//! stale program would have cost.
+//!
+//! Run with: `cargo run --release --example adaptive_reallocation`
+
+use dbcast::alloc::DrpCds;
+use dbcast::model::{average_waiting_time, Allocation, ChannelAllocator, Database, ItemSpec};
+use dbcast::workload::{TraceBuilder, WorkloadBuilder};
+
+/// Re-estimates a database from observed request counts, keeping sizes.
+fn reestimate(db: &Database, counts: &[usize]) -> Database {
+    // Laplace smoothing so unobserved items keep a small share.
+    let specs: Vec<ItemSpec> = db
+        .iter()
+        .zip(counts)
+        .map(|(d, &c)| ItemSpec::new((c + 1) as f64, d.size()))
+        .collect();
+    Database::try_from_specs(specs).expect("smoothed counts are valid")
+}
+
+/// Rotates popularity so "yesterday's" hot items cool down: item i's
+/// frequency moves to item (i + shift) mod N.
+fn drift(db: &Database, shift: usize) -> Database {
+    let n = db.len();
+    let specs: Vec<ItemSpec> = (0..n)
+        .map(|i| {
+            let src = (i + n - shift % n) % n;
+            ItemSpec::new(db.items()[src].frequency(), db.items()[i].size())
+        })
+        .collect();
+    Database::try_from_specs(specs).expect("drifted profile is valid")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let channels = 6;
+    let bandwidth = 10.0;
+    let mut truth = WorkloadBuilder::new(100).skewness(1.0).seed(3).build()?;
+
+    // Initial program from the day-one estimate.
+    let mut program_basis = truth.clone();
+    let mut alloc: Allocation = DrpCds::new().allocate(&program_basis, channels)?;
+
+    println!(
+        "{:>5} {:>16} {:>16} {:>10}",
+        "epoch", "stale W_b (s)", "refreshed (s)", "penalty"
+    );
+    for epoch in 1..=6 {
+        // The world drifts: popularity rotates by 15 ranks per epoch.
+        truth = drift(&truth, 15);
+
+        // Serve an epoch of requests with the *old* program and observe.
+        let trace = TraceBuilder::new(&truth)
+            .requests(20_000)
+            .seed(100 + epoch as u64)
+            .build()?;
+        let counts = trace.item_counts(truth.len());
+
+        // Waiting time the stale program delivers under the new truth:
+        // same grouping, evaluated against drifted frequencies.
+        let stale_alloc =
+            Allocation::from_assignment(&truth, channels, alloc.assignment().to_vec())?;
+        let stale = average_waiting_time(&truth, &stale_alloc, bandwidth)?.total();
+
+        // Server re-estimates and re-allocates.
+        program_basis = reestimate(&truth, &counts);
+        alloc = DrpCds::new().allocate(&program_basis, channels)?;
+        let refreshed_alloc =
+            Allocation::from_assignment(&truth, channels, alloc.assignment().to_vec())?;
+        let refreshed = average_waiting_time(&truth, &refreshed_alloc, bandwidth)?.total();
+
+        println!(
+            "{:>5} {:>16.3} {:>16.3} {:>9.1}%",
+            epoch,
+            stale,
+            refreshed,
+            100.0 * (stale - refreshed) / refreshed
+        );
+    }
+    println!(
+        "\nDRP-CDS is cheap enough (milliseconds) to re-run every epoch, \
+         which is exactly the practicality argument of the paper's \
+         complexity analysis."
+    );
+    Ok(())
+}

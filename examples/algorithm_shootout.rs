@@ -1,0 +1,90 @@
+//! Head-to-head comparison of every allocator in the workspace across
+//! a grid of diversity/skewness settings — a miniature of the paper's
+//! whole evaluation section in one binary.
+//!
+//! Run with: `cargo run --release --example algorithm_shootout`
+
+use dbcast::alloc::{Drp, DrpCds};
+use dbcast::baselines::{ContiguousDp, Flat, Gopt, GoptConfig, Greedy, Vfk};
+use dbcast::model::{average_waiting_time, ChannelAllocator, Database};
+use dbcast::workload::{SizeDistribution, WorkloadBuilder};
+
+fn mean_wait(algo: &dyn ChannelAllocator, dbs: &[Database], k: usize, b: f64) -> f64 {
+    let total: f64 = dbs
+        .iter()
+        .map(|db| {
+            let alloc = algo.allocate(db, k).expect("feasible");
+            average_waiting_time(db, &alloc, b).expect("valid bandwidth").total()
+        })
+        .sum();
+    total / dbs.len() as f64
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let k = 6;
+    let bandwidth = 10.0;
+    let seeds: Vec<u64> = (0..8).collect();
+
+    let gopt = Gopt::new(GoptConfig {
+        population: 80,
+        max_generations: 200,
+        stagnation_limit: 50,
+        ..GoptConfig::default()
+    });
+    let (flat, vfk, greedy, drp, drpcds, dp) = (
+        Flat::new(),
+        Vfk::new(),
+        Greedy::new(),
+        Drp::new(),
+        DrpCds::new(),
+        ContiguousDp::new(),
+    );
+    let algos: Vec<(&str, &dyn ChannelAllocator)> = vec![
+        ("FLAT", &flat),
+        ("VF^K", &vfk),
+        ("GREEDY", &greedy),
+        ("DRP", &drp),
+        ("DRP-CDS", &drpcds),
+        ("DP", &dp),
+        ("GOPT", &gopt),
+    ];
+
+    println!("mean W_b (s) over {} seeded workloads, N = 120, K = {k}\n", seeds.len());
+    print!("{:<22}", "scenario");
+    for (name, _) in &algos {
+        print!("{name:>9}");
+    }
+    println!();
+
+    for (label, phi, theta) in [
+        ("uniform sizes, mild", 0.0, 0.4),
+        ("uniform sizes, skewed", 0.0, 1.2),
+        ("diverse, mild skew", 2.0, 0.4),
+        ("diverse, skewed", 2.0, 1.2),
+        ("extreme diversity", 3.0, 0.8),
+    ] {
+        let dbs: Vec<Database> = seeds
+            .iter()
+            .map(|&s| {
+                WorkloadBuilder::new(120)
+                    .skewness(theta)
+                    .sizes(SizeDistribution::Diversity { phi_max: phi })
+                    .seed(s)
+                    .build()
+                    .expect("valid parameters")
+            })
+            .collect();
+        print!("{label:<22}");
+        for (_, algo) in &algos {
+            print!("{:>9.3}", mean_wait(*algo, &dbs, k, bandwidth));
+        }
+        println!();
+    }
+
+    println!(
+        "\nreading guide: at Phi = 0 (conventional environment) VF^K is \
+         competitive;\nas diversity grows, size-aware allocation (DRP/DRP-CDS) \
+         pulls ahead — the paper's core claim."
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Client-side caching over a broadcast program: why LRU is the wrong
+//! policy on air. A cached item saves its *re-acquisition cost* — a full
+//! probe of its channel — so the eviction score must weigh access
+//! probability against broadcast frequency (PIX), not recency.
+//!
+//! Run with: `cargo run --release --example client_caching`
+
+use dbcast::alloc::DrpCds;
+use dbcast::cache::{evaluate_with_cache, LruCache, PixCache};
+use dbcast::model::{average_waiting_time, BroadcastProgram, ChannelAllocator};
+use dbcast::workload::{SizeDistribution, TraceBuilder, WorkloadBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = WorkloadBuilder::new(80)
+        .skewness(1.2)
+        .sizes(SizeDistribution::Diversity { phi_max: 2.0 })
+        .seed(17)
+        .build()?;
+    let alloc = DrpCds::new().allocate(&db, 5)?;
+    let program = BroadcastProgram::new(&db, &alloc, 10.0)?;
+    let trace = TraceBuilder::new(&db).requests(20_000).seed(18).build()?;
+    let uncached = average_waiting_time(&db, &alloc, 10.0)?.total();
+    let total_size = db.stats().total_size;
+
+    println!(
+        "80 items ({total_size:.0} units total), DRP-CDS on 5 channels; \
+         uncached W_b = {uncached:.3}s\n"
+    );
+    println!(
+        "{:>14} {:>10} {:>12} {:>10} {:>12} {:>10}",
+        "cache budget", "LRU hits", "LRU W (s)", "PIX hits", "PIX W (s)", "PIX gain"
+    );
+    for percent in [2.0, 5.0, 10.0, 20.0, 40.0] {
+        let budget = total_size * percent / 100.0;
+        let lru = evaluate_with_cache(&db, &program, &trace, LruCache::new(budget))?;
+        let pix = evaluate_with_cache(
+            &db,
+            &program,
+            &trace,
+            PixCache::new(budget, &db, &program),
+        )?;
+        println!(
+            "{:>13.0}% {:>9.1}% {:>12.3} {:>9.1}% {:>12.3} {:>9.1}%",
+            percent,
+            100.0 * lru.hit_ratio,
+            lru.mean_waiting,
+            100.0 * pix.hit_ratio,
+            pix.mean_waiting,
+            100.0 * (lru.mean_waiting - pix.mean_waiting) / lru.mean_waiting
+        );
+    }
+    println!(
+        "\nPIX holds on to items that are expensive to re-acquire (long \
+         cycles), which LRU happily evicts; the gap is the Broadcast Disks \
+         caching result reproduced on top of the paper's allocator."
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Heterogeneous carriers: a broadcast operator with one wideband
+//! carrier and several narrowband ones. The paper's pipeline assumes
+//! equal bandwidths and wastes the fast carrier; the DRP-H extension
+//! (grouping → rearrangement assignment → H-CDS) exploits it.
+//!
+//! Run with: `cargo run --release --example hetero_carriers`
+
+use dbcast::alloc::DrpCds;
+use dbcast::hetero::{hetero_waiting_time, Bandwidths, HeteroDrpCds};
+use dbcast::model::ChannelAllocator;
+use dbcast::workload::{SizeDistribution, WorkloadBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = WorkloadBuilder::new(100)
+        .skewness(1.0)
+        .sizes(SizeDistribution::Diversity { phi_max: 2.0 })
+        .seed(3)
+        .build()?;
+
+    // A realistic carrier mix: one 40-unit/s wideband channel, four
+    // 5-unit/s narrowband channels (same aggregate capacity as five
+    // 12-unit/s channels).
+    let bw = Bandwidths::try_new(vec![40.0, 5.0, 5.0, 5.0, 5.0])?;
+    println!("carriers: {:?} units/s\n", bw.as_slice());
+
+    // Bandwidth-oblivious: the paper pipeline, groups land on channels
+    // in benefit-ratio order regardless of speed.
+    let oblivious = DrpCds::new().allocate(&db, bw.channels())?;
+    let w_oblivious = hetero_waiting_time(&db, &oblivious, &bw)?;
+
+    // Bandwidth-aware pipeline.
+    let outcome = HeteroDrpCds::new(bw.clone()).allocate_traced(&db)?;
+    let w_aware = outcome.final_waiting;
+
+    println!("bandwidth-oblivious DRP-CDS: W_b = {w_oblivious:.3}s");
+    println!(
+        "DRP-H (assignment + H-CDS):  W_b = {w_aware:.3}s  ({:.1}% better, {} H-CDS moves)",
+        100.0 * (w_oblivious - w_aware) / w_oblivious,
+        outcome.moves.len()
+    );
+
+    // Who rides the fast carrier?
+    let alloc = &outcome.allocation;
+    println!("\nper-carrier picture (DRP-H):");
+    for (i, stats) in alloc.all_channel_stats().iter().enumerate() {
+        println!(
+            "  carrier {i} ({:>4.0} u/s): {:3} items, popularity {:.3}, cycle {:8.2}s",
+            bw.get(i),
+            stats.items,
+            stats.frequency,
+            stats.size / bw.get(i)
+        );
+    }
+    println!(
+        "\nnote the division of labour H-CDS discovers: the wideband carrier \
+         swallows the bulky tail (most total size), while one narrowband \
+         carrier keeps a very short cycle dedicated to the hottest items."
+    );
+    Ok(())
+}

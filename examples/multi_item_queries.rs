@@ -1,0 +1,78 @@
+//! Multi-item queries: a navigation client that needs weather, traffic
+//! and map tiles in one shot. Single-item waiting time (the paper's
+//! metric) does not tell the whole story — with one tuner, retrieval is
+//! sequential, and the *order* of items inside each cycle matters.
+//!
+//! Compares FLAT vs DRP-CDS on query latency, then shows the extra win
+//! from co-access-aware (affinity) ordering inside each channel.
+//!
+//! Run with: `cargo run --release --example multi_item_queries`
+
+use dbcast::alloc::DrpCds;
+use dbcast::baselines::Flat;
+use dbcast::model::{BroadcastProgram, ChannelAllocator};
+use dbcast::query::{affinity_order, evaluate, CoAccessMatrix, QueryWorkloadBuilder};
+use dbcast::workload::{SizeDistribution, WorkloadBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = WorkloadBuilder::new(80)
+        .skewness(1.0)
+        .sizes(SizeDistribution::Diversity { phi_max: 1.5 })
+        .seed(31)
+        .build()?;
+    let k = 5;
+    let b = 10.0;
+
+    // 60 recurring query templates, up to 4 items each, 2000 arrivals.
+    let queries = QueryWorkloadBuilder::new(&db)
+        .queries(60)
+        .max_size(4)
+        .arrivals(2_000, 2.0)
+        .seed(32)
+        .build();
+    let sizes: Vec<usize> = queries.queries().iter().map(|(q, _)| q.len()).collect();
+    println!(
+        "query population: 60 templates, sizes 1..={} (mean {:.1}), 2000 arrivals\n",
+        sizes.iter().max().unwrap(),
+        sizes.iter().sum::<usize>() as f64 / sizes.len() as f64
+    );
+
+    println!(
+        "{:<34} {:>14} {:>16}",
+        "program", "mean query (s)", "excess over LB"
+    );
+    for (name, alloc) in [
+        ("FLAT", Flat::new().allocate(&db, k)?),
+        ("DRP-CDS", DrpCds::new().allocate(&db, k)?),
+    ] {
+        // Default (item-id) intra-channel order.
+        let program = BroadcastProgram::new(&db, &alloc, b)?;
+        let eval = evaluate(&program, &queries)?;
+        println!(
+            "{:<34} {:>14.3} {:>16.3}",
+            format!("{name}, id order"),
+            eval.mean_latency,
+            eval.mean_excess_over_bound
+        );
+
+        // Affinity order: co-queried items adjacent in the cycle.
+        let matrix = CoAccessMatrix::from_workload(db.len(), &queries);
+        let ordered = affinity_order(&alloc, &matrix);
+        let program = BroadcastProgram::from_overlapping_groups(&db, &ordered, b)?;
+        let eval = evaluate(&program, &queries)?;
+        println!(
+            "{:<34} {:>14.3} {:>16.3}",
+            format!("{name}, affinity order"),
+            eval.mean_latency,
+            eval.mean_excess_over_bound
+        );
+    }
+    println!(
+        "\nDRP-CDS helps queries too: its short hot cycles dominate the \
+         sequential-retrieval cost. Affinity ordering is roughly neutral \
+         here because this workload's co-access structure is diffuse — it \
+         pays off when a few item pairs are strongly co-queried (see the \
+         dbcast-query unit tests for a constructed case with a clear win)."
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! The square-root rule, live: one channel, skewed demand, three ways
+//! to schedule it — flat cycle, optimal non-uniform spacings, and the
+//! theoretical lower bound they chase.
+//!
+//! Also shows the punchline of the `disks` × `alloc` comparison: the
+//! paper's DRP-CDS multi-channel program (flat cycles!) lands within a
+//! few percent of the unrestricted scheduling optimum, because grouping
+//! by benefit ratio approximates the optimal spacings.
+//!
+//! Run with: `cargo run --release --example square_root_rule`
+
+use dbcast::alloc::DrpCds;
+use dbcast::disks::{flat_probe_time, sqrt_rule_probe_bound, OnlineScheduler};
+use dbcast::model::ChannelAllocator;
+use dbcast::workload::{SizeDistribution, WorkloadBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = WorkloadBuilder::new(60)
+        .skewness(1.2)
+        .sizes(SizeDistribution::Diversity { phi_max: 2.0 })
+        .seed(13)
+        .build()?;
+    let items: Vec<(f64, f64)> = db.iter().map(|d| (d.frequency(), d.size())).collect();
+    let k = 5;
+    let b = 10.0;
+    let fat_b = b * k as f64; // one fat channel with the same capacity
+
+    println!("60 items, Zipf(1.2), one {fat_b}-unit/s channel — probe time (s):\n");
+    let flat = flat_probe_time(&items, fat_b);
+    let bound = sqrt_rule_probe_bound(&items, fat_b);
+    println!("  flat cycle (each item once):     {flat:.3}");
+    println!("  square-root-rule lower bound:    {bound:.3}");
+
+    let horizon = 2_000.0;
+    let schedule = OnlineScheduler::new(&items, fat_b)?.generate(horizon);
+    let download: f64 = items.iter().map(|&(f, z)| f * z / fat_b).sum();
+    let measured = schedule.mean_waiting_time(&items, horizon * 0.8) - download;
+    println!("  spacing scheduler (measured):    {measured:.3}");
+
+    // Appearance counts follow sqrt(f/z).
+    let hottest = &db.items()[0];
+    let coldest = &db.items()[59];
+    let expected_ratio = (hottest.frequency() / hottest.size()).sqrt()
+        / (coldest.frequency() / coldest.size()).sqrt();
+    println!(
+        "\n  appearances: {} for d0 vs {} for d59 (√-rule predicts ratio ~{:.1})",
+        schedule.appearances(hottest.id()),
+        schedule.appearances(coldest.id()),
+        expected_ratio
+    );
+
+    // The bridge to the paper: K flat channels at bandwidth b.
+    let alloc = DrpCds::new().allocate(&db, k)?;
+    let k_flat_probe = alloc.total_cost() / (2.0 * b);
+    println!("\nsame capacity as K = {k} channels of {b} units/s:");
+    println!("  DRP-CDS flat multi-channel:      {k_flat_probe:.3}");
+    println!(
+        "  -> within {:.1}% of the unrestricted scheduling optimum, with no \
+         intra-channel machinery at all: grouping similar benefit ratios \
+         *is* an approximation of the optimal spacings.",
+        100.0 * (k_flat_probe / bound - 1.0)
+    );
+    Ok(())
+}

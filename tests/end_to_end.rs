@@ -1,0 +1,94 @@
+//! Integration test: the full production pipeline a downstream user
+//! would run — generate, persist, reload, allocate, build the program,
+//! simulate, and compare algorithms.
+
+use dbcast::alloc::DrpCds;
+use dbcast::baselines::{Gopt, GoptConfig};
+use dbcast::model::{average_waiting_time, BroadcastProgram, ChannelAllocator};
+use dbcast::sim::Simulation;
+use dbcast::workload::{
+    load_database, save_database, SizeDistribution, TraceBuilder, WorkloadBuilder,
+};
+
+#[test]
+fn generate_persist_reload_allocate_simulate() {
+    // 1. Generate a workload.
+    let db = WorkloadBuilder::new(80)
+        .skewness(1.0)
+        .sizes(SizeDistribution::Diversity { phi_max: 2.0 })
+        .seed(5)
+        .build()
+        .unwrap();
+
+    // 2. Persist and reload — bit-exact.
+    let dir = std::env::temp_dir().join("dbcast-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("workload.json");
+    save_database(&db, &path).unwrap();
+    let reloaded = load_database(&path).unwrap();
+    assert_eq!(db, reloaded);
+    std::fs::remove_file(&path).ok();
+
+    // 3. Allocate with the paper pipeline.
+    let alloc = DrpCds::new().allocate(&reloaded, 6).unwrap();
+    alloc.validate(&reloaded).unwrap();
+
+    // 4. Build the concrete program and simulate a client population.
+    let program = BroadcastProgram::new(&reloaded, &alloc, 10.0).unwrap();
+    let trace = TraceBuilder::new(&reloaded)
+        .requests(5_000)
+        .arrival_rate(20.0)
+        .seed(6)
+        .build()
+        .unwrap();
+    let report = Simulation::new(&program, &trace).run().unwrap();
+    assert_eq!(report.completed(), 5_000);
+
+    // 5. The empirical mean should be in the analytical ballpark.
+    let analytical = average_waiting_time(&reloaded, &alloc, 10.0).unwrap().total();
+    let rel = (report.waiting().mean() - analytical).abs() / analytical;
+    assert!(rel < 0.1, "relative deviation {rel}");
+}
+
+#[test]
+fn library_surface_supports_dyn_dispatch() {
+    // A downstream scheduler holding algorithms behind trait objects.
+    let db = WorkloadBuilder::new(30).seed(9).build().unwrap();
+    let algos: Vec<Box<dyn ChannelAllocator>> = vec![
+        Box::new(DrpCds::new()),
+        Box::new(Gopt::new(GoptConfig {
+            population: 30,
+            max_generations: 40,
+            ..GoptConfig::default()
+        })),
+    ];
+    let mut costs = Vec::new();
+    for algo in &algos {
+        let alloc = algo.allocate(&db, 4).unwrap();
+        costs.push((algo.name().to_string(), alloc.total_cost()));
+    }
+    assert_eq!(costs.len(), 2);
+    assert!(costs.iter().all(|(_, c)| *c > 0.0));
+}
+
+#[test]
+fn bandwidth_scales_waiting_time_linearly() {
+    // Doubling bandwidth must halve W_b — a sanity property a
+    // deployment would rely on when provisioning channels.
+    let db = WorkloadBuilder::new(50).seed(12).build().unwrap();
+    let alloc = DrpCds::new().allocate(&db, 5).unwrap();
+    let w10 = average_waiting_time(&db, &alloc, 10.0).unwrap().total();
+    let w20 = average_waiting_time(&db, &alloc, 20.0).unwrap().total();
+    assert!((w10 / w20 - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn allocation_serializes_for_external_tooling() {
+    // Operations teams export programs as JSON; the allocation type is
+    // a stable serde surface.
+    let db = WorkloadBuilder::new(20).seed(14).build().unwrap();
+    let alloc = DrpCds::new().allocate(&db, 3).unwrap();
+    let json = serde_json::to_string(&alloc).unwrap();
+    let back: dbcast::model::Allocation = serde_json::from_str(&json).unwrap();
+    assert_eq!(alloc, back);
+}

@@ -122,9 +122,8 @@ impl Cds {
                     from: ChannelId::new(p),
                     to: ChannelId::new(q),
                 };
-                let reduction = alloc
-                    .move_reduction(mv)
-                    .expect("scan only proposes consistent moves");
+                let reduction =
+                    alloc.move_reduction(mv).expect("scan only proposes consistent moves");
                 if reduction > best_reduction {
                     best_reduction = reduction;
                     best = Some((mv, reduction));
@@ -151,14 +150,28 @@ impl Cds {
                 actual: alloc.items(),
             });
         }
+        let _refine_span = dbcast_obs::span!("alloc.cds.refine");
         let initial_cost = alloc.total_cost();
         let mut steps = Vec::new();
         let mut converged = false;
+        let mut obs_trace = dbcast_obs::trace::ConvergenceTrace::new("alloc.cds");
         while steps.len() < self.max_iterations {
             match self.best_move(&alloc) {
                 Some((mv, reduction)) => {
                     alloc.apply_move(mv)?;
-                    steps.push(CdsStep { mv, reduction, cost_after: alloc.total_cost() });
+                    let cost_after = alloc.total_cost();
+                    steps.push(CdsStep { mv, reduction, cost_after });
+                    dbcast_obs::counter!("alloc.cds.iterations").inc();
+                    if dbcast_obs::enabled() {
+                        obs_trace.push(dbcast_obs::trace::TraceEvent::CdsIteration {
+                            iteration: steps.len(),
+                            item: mv.item.index(),
+                            from: mv.from.index(),
+                            to: mv.to.index(),
+                            reduction,
+                            cost_after,
+                        });
+                    }
                 }
                 None => {
                     converged = true;
@@ -166,6 +179,7 @@ impl Cds {
                 }
             }
         }
+        obs_trace.record();
         // A capped run that would find no further move is still converged.
         if !converged && self.best_move(&alloc).is_none() {
             converged = true;
@@ -228,6 +242,30 @@ mod tests {
         assert_eq!(s1.mv.item.index() + 1, 12); // paper's d12
         assert!((s1.reduction - 0.45).abs() < 0.01, "{}", s1.reduction);
         assert!((out.final_cost() - 22.29).abs() < 0.01, "{}", out.final_cost());
+    }
+
+    #[test]
+    fn convergence_trace_from_steps_is_monotone_non_increasing() {
+        // The shared obs trace type, fed from a CDS outcome, must show a
+        // non-increasing cost series — CDS only applies improving moves.
+        use dbcast_obs::trace::{ConvergenceTrace, TraceEvent};
+        let db = dbcast_workload::WorkloadBuilder::new(100).seed(4).build().unwrap();
+        let rough = crate::Drp::new().allocate(&db, 6).unwrap();
+        let out = Cds::new().refine(&db, rough).unwrap();
+        let mut trace = ConvergenceTrace::new("alloc.cds");
+        for (i, s) in out.steps.iter().enumerate() {
+            trace.push(TraceEvent::CdsIteration {
+                iteration: i + 1,
+                item: s.mv.item.index(),
+                from: s.mv.from.index(),
+                to: s.mv.to.index(),
+                reduction: s.reduction,
+                cost_after: s.cost_after,
+            });
+        }
+        assert!(!trace.is_empty(), "this workload admits improving moves");
+        assert!(trace.is_monotone_non_increasing(1e-9));
+        assert_eq!(trace.final_cost(), Some(out.final_cost()));
     }
 
     #[test]

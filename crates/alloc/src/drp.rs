@@ -153,7 +153,9 @@ impl Drp {
                     f64::NEG_INFINITY
                 }
             }
-            SplitPriority::Gain => split.map_or(f64::NEG_INFINITY, |s| cost - s.total_cost()),
+            SplitPriority::Gain => {
+                split.map_or(f64::NEG_INFINITY, |s| cost - s.total_cost())
+            }
         };
         Segment { start, end, cost, split, priority }
     }
@@ -165,7 +167,11 @@ impl Drp {
     /// * [`AllocError::Model`] for `channels == 0`.
     /// * [`AllocError::Infeasible`] when `channels > N` (DRP groups are
     ///   non-empty by construction).
-    pub fn allocate_traced(&self, db: &Database, channels: usize) -> Result<DrpOutcome, AllocError> {
+    pub fn allocate_traced(
+        &self,
+        db: &Database,
+        channels: usize,
+    ) -> Result<DrpOutcome, AllocError> {
         if channels == 0 {
             return Err(dbcast_model::ModelError::ZeroChannels.into());
         }
@@ -207,19 +213,32 @@ impl Drp {
         };
 
         let mut iterations = vec![snapshot(&heap)];
+        let mut obs_trace = dbcast_obs::trace::ConvergenceTrace::new("alloc.drp");
         // Segments that can no longer be split (len 1) keep NEG_INFINITY
         // priority and sink to the bottom of the heap; if one surfaces,
         // every group is a singleton and K > N would have been required
         // — already rejected above.
         while heap.len() < channels {
+            let _scan = dbcast_obs::span!("alloc.drp.split_scan");
             let seg = heap.pop().expect("heap holds at least one segment");
-            let split = seg
-                .split
-                .expect("channels <= N guarantees a splittable segment surfaces");
-            heap.push(self.make_segment(&pf, &pz, seg.start, split.at));
-            heap.push(self.make_segment(&pf, &pz, split.at, seg.end));
+            let split =
+                seg.split.expect("channels <= N guarantees a splittable segment surfaces");
+            let prefix = self.make_segment(&pf, &pz, seg.start, split.at);
+            let suffix = self.make_segment(&pf, &pz, split.at, seg.end);
+            dbcast_obs::counter!("alloc.drp.splits").inc();
+            if dbcast_obs::enabled() {
+                obs_trace.push(dbcast_obs::trace::TraceEvent::DrpSplit {
+                    split: obs_trace.len() + 1,
+                    chosen_index: split.at,
+                    prefix_cost: prefix.cost,
+                    suffix_cost: suffix.cost,
+                });
+            }
+            heap.push(prefix);
+            heap.push(suffix);
             iterations.push(snapshot(&heap));
         }
+        obs_trace.record();
 
         let mut segs: Vec<Segment> = heap.into_iter().collect();
         segs.sort_by_key(|s| s.start);
@@ -260,10 +279,7 @@ mod tests {
     fn rejects_zero_and_too_many_channels() {
         let db = uniform_db(4);
         assert!(Drp::new().allocate(&db, 0).is_err());
-        assert!(matches!(
-            Drp::new().allocate(&db, 5),
-            Err(AllocError::Infeasible { .. })
-        ));
+        assert!(matches!(Drp::new().allocate(&db, 5), Err(AllocError::Infeasible { .. })));
     }
 
     #[test]
@@ -314,10 +330,7 @@ mod tests {
     fn every_iteration_reduces_total_cost() {
         let db = dbcast_workload::WorkloadBuilder::new(80).seed(9).build().unwrap();
         for priority in [SplitPriority::Cost, SplitPriority::Gain] {
-            let out = Drp::new()
-                .with_priority(priority)
-                .allocate_traced(&db, 8)
-                .unwrap();
+            let out = Drp::new().with_priority(priority).allocate_traced(&db, 8).unwrap();
             for w in out.iterations.windows(2) {
                 assert!(w[1].total_cost() <= w[0].total_cost() + 1e-9);
             }
@@ -329,10 +342,8 @@ mod tests {
     #[test]
     fn max_cost_priority_splits_costliest_group() {
         let db = dbcast_workload::paper::table2_profile();
-        let out = Drp::new()
-            .with_priority(SplitPriority::Cost)
-            .allocate_traced(&db, 3)
-            .unwrap();
+        let out =
+            Drp::new().with_priority(SplitPriority::Cost).allocate_traced(&db, 3).unwrap();
         // Iteration 1 has two groups; iteration 2 must have split the
         // costlier one, so its cost no longer appears.
         let it1 = &out.iterations[1];
@@ -347,10 +358,7 @@ mod tests {
         // priority rules agree here.
         let db = dbcast_workload::paper::table2_profile();
         for priority in [SplitPriority::Cost, SplitPriority::Gain] {
-            let out = Drp::new()
-                .with_priority(priority)
-                .allocate_traced(&db, 5)
-                .unwrap();
+            let out = Drp::new().with_priority(priority).allocate_traced(&db, 5).unwrap();
             let it1 = &out.iterations[1];
             assert_eq!(it1.groups.len(), 2);
             assert!((it1.groups[0].cost - 29.04).abs() < 0.01, "{}", it1.groups[0].cost);
@@ -374,12 +382,7 @@ mod tests {
             .unwrap()
             .groups
             .iter()
-            .map(|g| {
-                (
-                    g.members.iter().map(|i| i.index() + 1).collect(),
-                    g.cost,
-                )
-            })
+            .map(|g| (g.members.iter().map(|i| i.index() + 1).collect(), g.cost))
             .collect();
         let expected: Vec<(Vec<usize>, f64)> = vec![
             (vec![9, 2, 3], 2.59),

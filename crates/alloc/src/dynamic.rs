@@ -17,7 +17,9 @@
 
 use std::collections::BTreeMap;
 
-use dbcast_model::{AllocError, Allocation, ChannelAllocator, Database, ItemSpec, ModelError};
+use dbcast_model::{
+    AllocError, Allocation, ChannelAllocator, Database, ItemSpec, ModelError,
+};
 use serde::{Deserialize, Serialize};
 
 /// A handle to an item in a [`DynamicBroadcast`] catalogue.
@@ -224,6 +226,7 @@ impl DynamicBroadcast {
             })
             .expect("channels > 0");
         let handle = self.insert_on(weight, size, best);
+        dbcast_obs::counter!("alloc.dynamic.inserts").inc();
         self.repair();
         Ok(handle)
     }
@@ -234,12 +237,11 @@ impl DynamicBroadcast {
     ///
     /// [`DynamicError::UnknownHandle`].
     pub fn remove(&mut self, handle: ItemHandle) -> Result<RepairStats, DynamicError> {
-        let (w, z, ch) = self
-            .items
-            .remove(&handle)
-            .ok_or(DynamicError::UnknownHandle(handle))?;
+        let (w, z, ch) =
+            self.items.remove(&handle).ok_or(DynamicError::UnknownHandle(handle))?;
         self.freq[ch] -= w;
         self.size[ch] -= z;
+        dbcast_obs::counter!("alloc.dynamic.removes").inc();
         Ok(self.repair())
     }
 
@@ -254,19 +256,19 @@ impl DynamicBroadcast {
         weight: f64,
     ) -> Result<RepairStats, DynamicError> {
         Self::validate_feature("weight", weight)?;
-        let entry = self
-            .items
-            .get_mut(&handle)
-            .ok_or(DynamicError::UnknownHandle(handle))?;
+        let entry =
+            self.items.get_mut(&handle).ok_or(DynamicError::UnknownHandle(handle))?;
         let (old_w, _z, ch) = *entry;
         entry.0 = weight;
         self.freq[ch] += weight - old_w;
+        dbcast_obs::counter!("alloc.dynamic.weight_updates").inc();
         Ok(self.repair())
     }
 
     /// Runs bounded steepest-descent repair (at most the configured
     /// budget of moves); returns what it did.
     pub fn repair(&mut self) -> RepairStats {
+        let _span = dbcast_obs::span!("alloc.dynamic.repair");
         let mut stats = RepairStats::default();
         for _ in 0..self.repair_budget {
             // Best single move across the catalogue (CDS step over raw
@@ -300,6 +302,7 @@ impl DynamicBroadcast {
                 None => break,
             }
         }
+        dbcast_obs::counter!("alloc.dynamic.repair_moves").add(stats.moves as u64);
         stats
     }
 
@@ -313,11 +316,8 @@ impl DynamicBroadcast {
         if self.items.is_empty() {
             return Err(DynamicError::Empty);
         }
-        let specs: Vec<ItemSpec> = self
-            .items
-            .values()
-            .map(|&(w, z, _)| ItemSpec::new(w, z))
-            .collect();
+        let specs: Vec<ItemSpec> =
+            self.items.values().map(|&(w, z, _)| ItemSpec::new(w, z)).collect();
         let assignment: Vec<usize> = self.items.values().map(|&(_, _, ch)| ch).collect();
         let db = Database::try_from_specs(specs).expect("live features are validated");
         let alloc = Allocation::from_assignment(&db, self.channels, assignment)

@@ -42,7 +42,7 @@ mod partition;
 mod pipeline;
 
 pub use cds::{Cds, CdsOutcome, CdsStep};
-pub use dynamic::{DynamicBroadcast, DynamicError, ItemHandle, RepairStats};
 pub use drp::{Drp, DrpIteration, DrpOutcome, GroupSnapshot, SplitPriority};
+pub use dynamic::{DynamicBroadcast, DynamicError, ItemHandle, RepairStats};
 pub use partition::{best_split, SplitPoint};
 pub use pipeline::{DrpCds, DrpCdsOutcome};

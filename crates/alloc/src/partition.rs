@@ -103,7 +103,10 @@ mod tests {
     use super::*;
 
     /// Brute-force reference: try every split, recomputing sums.
-    fn brute_force(items: &[(f64, f64)], range: std::ops::Range<usize>) -> Option<SplitPoint> {
+    fn brute_force(
+        items: &[(f64, f64)],
+        range: std::ops::Range<usize>,
+    ) -> Option<SplitPoint> {
         if range.len() < 2 {
             return None;
         }
@@ -143,7 +146,8 @@ mod tests {
         // Deterministic LCG over a batch of random instances.
         let mut state = 42u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state =
+                state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64 / 2.0) + 0.01
         };
         for n in [2usize, 3, 5, 8, 13, 21, 40] {

@@ -68,8 +68,15 @@ impl DrpCds {
         db: &Database,
         channels: usize,
     ) -> Result<DrpCdsOutcome, AllocError> {
-        let drp = self.drp.allocate_traced(db, channels)?;
-        let cds = self.cds.refine(db, drp.allocation.clone())?;
+        let drp = {
+            let _phase = dbcast_obs::span!("alloc.pipeline.drp");
+            self.drp.allocate_traced(db, channels)?
+        };
+        let cds = {
+            let _phase = dbcast_obs::span!("alloc.pipeline.cds");
+            self.cds.refine(db, drp.allocation.clone())?
+        };
+        dbcast_obs::counter!("alloc.pipeline.runs").inc();
         Ok(DrpCdsOutcome { drp, cds })
     }
 }

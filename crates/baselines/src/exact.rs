@@ -62,11 +62,15 @@ struct Search<'a> {
     assignment: Vec<usize>,
     best_cost: f64,
     best_assignment: Vec<usize>,
+    nodes: u64,
+    prunes: u64,
 }
 
 impl Search<'_> {
     fn dfs(&mut self, item: usize, used: usize) {
+        self.nodes += 1;
         if self.tracker.total_cost() >= self.best_cost {
+            self.prunes += 1;
             return; // cost only grows from here
         }
         if item == self.features.len() {
@@ -102,10 +106,7 @@ impl ChannelAllocator for ExactBnB {
         // Largest-first order maximizes early pruning.
         let mut order: Vec<usize> = (0..db.len()).collect();
         order.sort_by(|&a, &b| {
-            db.items()[b]
-                .size()
-                .total_cmp(&db.items()[a].size())
-                .then(a.cmp(&b))
+            db.items()[b].size().total_cmp(&db.items()[a].size()).then(a.cmp(&b))
         });
         let features: Vec<(f64, f64)> = order
             .iter()
@@ -118,8 +119,15 @@ impl ChannelAllocator for ExactBnB {
             assignment: vec![0; db.len()],
             best_cost: f64::INFINITY,
             best_assignment: vec![0; db.len()],
+            nodes: 0,
+            prunes: 0,
         };
-        search.dfs(0, 0);
+        {
+            let _span = dbcast_obs::span!("baselines.exact.search");
+            search.dfs(0, 0);
+        }
+        dbcast_obs::counter!("baselines.exact.nodes").add(search.nodes);
+        dbcast_obs::counter!("baselines.exact.prunes").add(search.prunes);
         // Map back from search order to item-id order.
         let mut assignment = vec![0usize; db.len()];
         for (pos, &item) in order.iter().enumerate() {

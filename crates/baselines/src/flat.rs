@@ -57,7 +57,8 @@ mod tests {
     fn distributes_items_evenly() {
         let db = WorkloadBuilder::new(10).seed(1).build().unwrap();
         let alloc = Flat::new().allocate(&db, 4).unwrap();
-        let counts: Vec<usize> = alloc.all_channel_stats().iter().map(|s| s.items).collect();
+        let counts: Vec<usize> =
+            alloc.all_channel_stats().iter().map(|s| s.items).collect();
         assert_eq!(counts, vec![3, 3, 2, 2]);
     }
 

@@ -131,12 +131,10 @@ pub struct GoptReport {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Gopt {
     config: GoptConfig,
 }
-
 
 impl Gopt {
     /// Creates the allocator with an explicit configuration.
@@ -173,10 +171,19 @@ impl Gopt {
             allocation_cost(db, channels, genes).expect("genes stay in range")
         };
 
-        // Initial random population.
+        // Initial population: half uniform-random chromosomes for raw
+        // diversity, half random *contiguous* partitions in descending
+        // benefit-ratio order — the subspace where the paper's theory
+        // (Property 1 / the DP formulation) locates strong allocations.
+        // Selection, crossover and mutation still roam the full space.
+        let order = db.ids_by_benefit_ratio_desc();
         let mut population: Vec<(Vec<usize>, f64)> = (0..cfg.population)
-            .map(|_| {
-                let genes: Vec<usize> = (0..n).map(|_| rng.gen_range(0..channels)).collect();
+            .map(|individual| {
+                let genes: Vec<usize> = if individual % 2 == 0 {
+                    (0..n).map(|_| rng.gen_range(0..channels)).collect()
+                } else {
+                    random_contiguous_genes(&order, channels, n, &mut rng)
+                };
                 let cost = eval(&genes);
                 (genes, cost)
             })
@@ -201,6 +208,7 @@ impl Gopt {
                 winner
             };
 
+        let evolve_span = dbcast_obs::span!("baselines.gopt.evolve");
         while generations < cfg.max_generations {
             generations += 1;
             let mut next: Vec<(Vec<usize>, f64)> =
@@ -240,6 +248,21 @@ impl Gopt {
                 break;
             }
         }
+        drop(evolve_span);
+
+        dbcast_obs::counter!("baselines.gopt.runs").inc();
+        dbcast_obs::counter!("baselines.gopt.generations").add(generations as u64);
+        if dbcast_obs::enabled() {
+            // `best_cost_history` re-expressed in the shared trace type.
+            let mut trace = dbcast_obs::trace::ConvergenceTrace::new("baselines.gopt");
+            for (generation, &best_cost) in history.iter().enumerate() {
+                trace.push(dbcast_obs::trace::TraceEvent::GoptGeneration {
+                    generation,
+                    best_cost,
+                });
+            }
+            trace.record();
+        }
 
         let mut allocation = Allocation::from_assignment(db, channels, best.0)?;
         let mut polish_gain = 0.0;
@@ -254,6 +277,28 @@ impl Gopt {
             GoptReport { generations, best_cost_history: history, stagnated, polish_gain },
         ))
     }
+}
+
+/// A chromosome assigning channel `j` to the `j`-th segment of a
+/// random contiguous split of `order` (cut positions drawn uniformly;
+/// duplicate cuts leave channels empty, which Eq. 3 prices at zero).
+fn random_contiguous_genes(
+    order: &[dbcast_model::ItemId],
+    channels: usize,
+    n: usize,
+    rng: &mut ChaCha8Rng,
+) -> Vec<usize> {
+    let mut cuts: Vec<usize> = (0..channels - 1).map(|_| rng.gen_range(0..=n)).collect();
+    cuts.sort_unstable();
+    let mut genes = vec![0usize; n];
+    let mut channel = 0usize;
+    for (position, id) in order.iter().enumerate() {
+        while channel < channels - 1 && position >= cuts[channel] {
+            channel += 1;
+        }
+        genes[id.index()] = channel;
+    }
+    genes
 }
 
 impl ChannelAllocator for Gopt {
@@ -329,10 +374,7 @@ mod tests {
             let db = WorkloadBuilder::new(9).seed(seed).build().unwrap();
             let opt = ExactBnB::new().allocate(&db, 3).unwrap().total_cost();
             let gopt = Gopt::new(quick_config(seed)).allocate(&db, 3).unwrap().total_cost();
-            assert!(
-                (gopt - opt).abs() < 1e-6,
-                "seed {seed}: gopt {gopt} vs exact {opt}"
-            );
+            assert!((gopt - opt).abs() < 1e-6, "seed {seed}: gopt {gopt} vs exact {opt}");
         }
     }
 
@@ -365,11 +407,8 @@ mod tests {
     #[test]
     fn stagnation_stops_early() {
         let db = WorkloadBuilder::new(10).seed(6).build().unwrap();
-        let cfg = GoptConfig {
-            stagnation_limit: 5,
-            max_generations: 10_000,
-            ..quick_config(1)
-        };
+        let cfg =
+            GoptConfig { stagnation_limit: 5, max_generations: 10_000, ..quick_config(1) };
         let (_, report) = Gopt::new(cfg).allocate_reported(&db, 2).unwrap();
         assert!(report.generations < 10_000);
         assert!(report.stagnated);

@@ -57,8 +57,7 @@ impl ChannelAllocator for Greedy {
             for ch in 0..channels {
                 // Δcost of adding (f, z) to channel ch:
                 // (F+f)(Z+z) − F·Z = F·z + Z·f + f·z.
-                let delta =
-                    tracker.frequency(ch) * z + tracker.size(ch) * f + f * z;
+                let delta = tracker.frequency(ch) * z + tracker.size(ch) * f + f * z;
                 if delta < best_delta {
                     best_delta = delta;
                     best_ch = ch;

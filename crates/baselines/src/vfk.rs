@@ -61,6 +61,8 @@ impl ChannelAllocator for Vfk {
             });
         }
 
+        let _span = dbcast_obs::span!("baselines.vfk.dp");
+        dbcast_obs::counter!("baselines.vfk.runs").inc();
         let order = db.ids_by_frequency_desc();
         // Prefix frequency sums over the sorted order.
         let mut pf = vec![0.0f64; n + 1];
@@ -114,10 +116,7 @@ mod tests {
     fn rejects_zero_and_too_many_channels() {
         let db = WorkloadBuilder::new(3).build().unwrap();
         assert!(Vfk::new().allocate(&db, 0).is_err());
-        assert!(matches!(
-            Vfk::new().allocate(&db, 4),
-            Err(AllocError::Infeasible { .. })
-        ));
+        assert!(matches!(Vfk::new().allocate(&db, 4), Err(AllocError::Infeasible { .. })));
     }
 
     #[test]
@@ -174,10 +173,8 @@ mod tests {
         // Two databases identical in frequencies but with very different
         // sizes must produce the same grouping (of item indices).
         let freqs = [0.4, 0.3, 0.15, 0.1, 0.05];
-        let a = Database::try_from_specs(
-            freqs.iter().map(|&f| ItemSpec::new(f, 1.0)),
-        )
-        .unwrap();
+        let a =
+            Database::try_from_specs(freqs.iter().map(|&f| ItemSpec::new(f, 1.0))).unwrap();
         let b = Database::try_from_specs(
             freqs
                 .iter()

@@ -6,10 +6,9 @@ use proptest::prelude::*;
 
 fn db_and_k() -> impl Strategy<Value = (Database, usize)> {
     prop::collection::vec((0.01f64..10.0, 0.1f64..100.0), 1..30).prop_flat_map(|pairs| {
-        let db = Database::try_from_specs(
-            pairs.into_iter().map(|(f, z)| ItemSpec::new(f, z)),
-        )
-        .unwrap();
+        let db =
+            Database::try_from_specs(pairs.into_iter().map(|(f, z)| ItemSpec::new(f, z)))
+                .unwrap();
         let n = db.len();
         (Just(db), 1..=n.min(6))
     })

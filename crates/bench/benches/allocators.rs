@@ -20,21 +20,11 @@ fn workload(n: usize) -> Database {
 fn bench_default_point(c: &mut Criterion) {
     let db = workload(120);
     let mut group = c.benchmark_group("allocators_n120_k6");
-    group.bench_function("FLAT", |b| {
-        b.iter(|| Flat::new().allocate(&db, 6).unwrap())
-    });
-    group.bench_function("VF^K", |b| {
-        b.iter(|| Vfk::new().allocate(&db, 6).unwrap())
-    });
-    group.bench_function("GREEDY", |b| {
-        b.iter(|| Greedy::new().allocate(&db, 6).unwrap())
-    });
-    group.bench_function("DRP", |b| {
-        b.iter(|| Drp::new().allocate(&db, 6).unwrap())
-    });
-    group.bench_function("DRP-CDS", |b| {
-        b.iter(|| DrpCds::new().allocate(&db, 6).unwrap())
-    });
+    group.bench_function("FLAT", |b| b.iter(|| Flat::new().allocate(&db, 6).unwrap()));
+    group.bench_function("VF^K", |b| b.iter(|| Vfk::new().allocate(&db, 6).unwrap()));
+    group.bench_function("GREEDY", |b| b.iter(|| Greedy::new().allocate(&db, 6).unwrap()));
+    group.bench_function("DRP", |b| b.iter(|| Drp::new().allocate(&db, 6).unwrap()));
+    group.bench_function("DRP-CDS", |b| b.iter(|| DrpCds::new().allocate(&db, 6).unwrap()));
     group.sample_size(10);
     group.bench_function("GOPT", |b| {
         let gopt = Gopt::new(GoptConfig {

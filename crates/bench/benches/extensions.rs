@@ -35,11 +35,7 @@ fn bench_replication(c: &mut Criterion) {
     let db = workload(60);
     let base = DrpCds::new().allocate(&db, 5).unwrap();
     c.bench_function("greedy_replication_n60_k5", |b| {
-        b.iter(|| {
-            GreedyReplicator::new()
-                .replicate(&db, base.clone(), 10.0)
-                .unwrap()
-        })
+        b.iter(|| GreedyReplicator::new().replicate(&db, base.clone(), 10.0).unwrap())
     });
 }
 

@@ -13,11 +13,7 @@ fn bench_simulation_throughput(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("simulation");
     for requests in [1_000usize, 10_000, 100_000] {
-        let trace = TraceBuilder::new(&db)
-            .requests(requests)
-            .seed(2)
-            .build()
-            .unwrap();
+        let trace = TraceBuilder::new(&db).requests(requests).seed(2).build().unwrap();
         group.throughput(Throughput::Elements(requests as u64));
         group.bench_with_input(
             BenchmarkId::from_parameter(requests),

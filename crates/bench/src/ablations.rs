@@ -49,10 +49,7 @@ pub fn ablate_split_priority(seeds: &[u64]) -> ReportTable {
         let mut cost_cds = 0.0;
         for db in &dbs {
             let g = Drp::new().allocate(db, k).unwrap();
-            let c = Drp::new()
-                .with_priority(SplitPriority::Cost)
-                .allocate(db, k)
-                .unwrap();
+            let c = Drp::new().with_priority(SplitPriority::Cost).allocate(db, k).unwrap();
             gain += g.total_cost();
             cost_rule += c.total_cost();
             gain_cds += Cds::new().refine(db, g).unwrap().final_cost();
@@ -89,10 +86,7 @@ pub fn ablate_cds_threshold(seeds: &[u64]) -> ReportTable {
         let mut moves = 0usize;
         for db in &dbs {
             let rough = Drp::new().allocate(db, 6).unwrap();
-            let out = Cds::new()
-                .min_reduction(threshold)
-                .refine(db, rough)
-                .unwrap();
+            let out = Cds::new().min_reduction(threshold).refine(db, rough).unwrap();
             cost += out.final_cost();
             moves += out.steps.len();
         }
@@ -214,11 +208,8 @@ pub fn ablate_replication(seeds: &[u64]) -> ReportTable {
             .seed(seed)
             .build()
             .unwrap();
-        let trace = TraceBuilder::new(&db)
-            .requests(20_000)
-            .seed(seed + 500)
-            .build()
-            .unwrap();
+        let trace =
+            TraceBuilder::new(&db).requests(20_000).seed(seed + 500).build().unwrap();
         for (label, base) in [
             (
                 "flat",
@@ -227,9 +218,7 @@ pub fn ablate_replication(seeds: &[u64]) -> ReportTable {
             ),
             ("drp-cds", DrpCds::new().allocate(&db, 5).unwrap()),
         ] {
-            let out = GreedyReplicator::new()
-                .replicate(&db, base.clone(), 10.0)
-                .unwrap();
+            let out = GreedyReplicator::new().replicate(&db, base.clone(), 10.0).unwrap();
             let w_base = {
                 let p = BroadcastProgram::new(&db, &base, 10.0).unwrap();
                 Simulation::new(&p, &trace).run().unwrap().waiting().mean()

@@ -16,7 +16,11 @@ use dbcast_disks::{flat_probe_time, sqrt_rule_probe_bound, OnlineScheduler};
 use dbcast_model::{ChannelAllocator, Database};
 use dbcast_workload::{SizeDistribution, WorkloadBuilder};
 
-fn channel_items(db: &Database, alloc: &dbcast_model::Allocation, ch: usize) -> Vec<(f64, f64)> {
+fn channel_items(
+    db: &Database,
+    alloc: &dbcast_model::Allocation,
+    ch: usize,
+) -> Vec<(f64, f64)> {
     alloc
         .assignment()
         .iter()
@@ -83,9 +87,8 @@ fn main() -> std::io::Result<()> {
 
             // Empirical check of the fat-channel sqrt-rule bound.
             let horizon = 600.0;
-            let schedule = OnlineScheduler::new(&items, fat_b)
-                .expect("valid items")
-                .generate(horizon);
+            let schedule =
+                OnlineScheduler::new(&items, fat_b).expect("valid items").generate(horizon);
             let mean_wait = schedule.mean_waiting_time(&items, horizon * 0.8);
             let download: f64 = items.iter().map(|&(f, z)| f * z / fat_b).sum();
             measured += mean_wait - download; // probe component

@@ -6,7 +6,8 @@ use dbcast_bench::{run_fig6, ExperimentConfig};
 
 fn main() -> std::io::Result<()> {
     let quick = std::env::args().any(|a| a == "--quick");
-    let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    let config =
+        if quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
     let md = run_fig6(&config, std::path::Path::new("results"))?;
     print!("{md}");
     Ok(())

@@ -51,15 +51,12 @@ fn main() -> std::io::Result<()> {
                 let alloc = algo.allocate(&db, k).expect("feasible");
                 let program = BroadcastProgram::new(&db, &alloc, 10.0).expect("valid");
                 let indexed = match m_choice {
-                    "m*" => IndexedProgram::with_optimal_segments(&program, index_size, 0.1),
+                    "m*" => {
+                        IndexedProgram::with_optimal_segments(&program, index_size, 0.1)
+                    }
                     fixed => {
                         let m: usize = fixed.parse().expect("numeric m");
-                        IndexedProgram::new(
-                            &program,
-                            &vec![m; k],
-                            index_size,
-                            0.1,
-                        )
+                        IndexedProgram::new(&program, &vec![m; k], index_size, 0.1)
                     }
                 }
                 .expect("valid indexing");

@@ -59,9 +59,8 @@ fn main() -> std::io::Result<()> {
             let ordered = affinity_order(&alloc, &matrix);
             let aff_program =
                 BroadcastProgram::from_overlapping_groups(&db, &ordered, b).expect("valid");
-            affinity_latency += evaluate(&aff_program, &queries)
-                .expect("items broadcast")
-                .mean_latency;
+            affinity_latency +=
+                evaluate(&aff_program, &queries).expect("items broadcast").mean_latency;
         }
         let d = seeds as f64;
         table.rows.push(vec![

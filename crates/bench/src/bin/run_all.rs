@@ -13,7 +13,8 @@ use dbcast_bench::{
 
 fn main() -> std::io::Result<()> {
     let quick = std::env::args().any(|a| a == "--quick");
-    let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    let config =
+        if quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
     let dir = Path::new("results");
 
     eprintln!("[1/8] Tables 2-4 (worked example)");

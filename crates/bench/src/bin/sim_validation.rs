@@ -7,7 +7,8 @@ use dbcast_bench::{run_sim_validation, ExperimentConfig};
 
 fn main() -> std::io::Result<()> {
     let quick = std::env::args().any(|a| a == "--quick");
-    let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    let config =
+        if quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
     let md = run_sim_validation(&config, std::path::Path::new("results"))?;
     print!("{md}");
     Ok(())

@@ -37,18 +37,27 @@ impl ReportTable {
         ReportTable { title: title.to_string(), header, rows }
     }
 
-    /// Builds a table from a timing sweep (milliseconds).
+    /// Builds a table from a timing sweep: per algorithm one mean,
+    /// median and p95 column (milliseconds).
     pub fn from_timing(title: &str, result: &TimingResult) -> Self {
         let mut header = vec![result.axis.clone()];
         if let Some(first) = result.points.first() {
-            header.extend(first.algos.iter().map(|(n, _)| format!("{n} (ms)")));
+            for t in &first.algos {
+                header.push(format!("{} mean (ms)", t.algo));
+                header.push(format!("{} p50 (ms)", t.algo));
+                header.push(format!("{} p95 (ms)", t.algo));
+            }
         }
         let rows = result
             .points
             .iter()
             .map(|p| {
                 let mut row = vec![format_x(p.x)];
-                row.extend(p.algos.iter().map(|(_, ms)| format!("{ms:.3}")));
+                for t in &p.algos {
+                    row.push(format!("{:.3}", t.mean_ms));
+                    row.push(format!("{:.3}", t.median_ms));
+                    row.push(format!("{:.3}", t.p95_ms));
+                }
                 row
             })
             .collect();
@@ -75,11 +84,8 @@ pub fn render_markdown(table: &ReportTable) -> String {
     }
     let mut out = format!("## {}\n\n", table.title);
     let fmt_row = |cells: &[String], widths: &[usize]| {
-        let padded: Vec<String> = cells
-            .iter()
-            .zip(widths)
-            .map(|(c, &w)| format!("{c:>w$}"))
-            .collect();
+        let padded: Vec<String> =
+            cells.iter().zip(widths).map(|(c, &w)| format!("{c:>w$}")).collect();
         format!("| {} |\n", padded.join(" | "))
     };
     out.push_str(&fmt_row(&table.header, &widths));
@@ -130,15 +136,31 @@ mod tests {
                 SweepPoint {
                     x: 4.0,
                     algos: vec![
-                        AlgoPoint { algo: "FLAT".into(), mean_waiting: 2.5, mean_cost: 40.0 },
-                        AlgoPoint { algo: "DRP".into(), mean_waiting: 1.25, mean_cost: 20.0 },
+                        AlgoPoint {
+                            algo: "FLAT".into(),
+                            mean_waiting: 2.5,
+                            mean_cost: 40.0,
+                        },
+                        AlgoPoint {
+                            algo: "DRP".into(),
+                            mean_waiting: 1.25,
+                            mean_cost: 20.0,
+                        },
                     ],
                 },
                 SweepPoint {
                     x: 5.0,
                     algos: vec![
-                        AlgoPoint { algo: "FLAT".into(), mean_waiting: 2.0, mean_cost: 32.0 },
-                        AlgoPoint { algo: "DRP".into(), mean_waiting: 1.0, mean_cost: 16.0 },
+                        AlgoPoint {
+                            algo: "FLAT".into(),
+                            mean_waiting: 2.0,
+                            mean_cost: 32.0,
+                        },
+                        AlgoPoint {
+                            algo: "DRP".into(),
+                            mean_waiting: 1.0,
+                            mean_cost: 16.0,
+                        },
                     ],
                 },
             ],
@@ -165,6 +187,29 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], "K,FLAT,DRP");
         assert!(lines[1].starts_with("4,"));
+    }
+
+    #[test]
+    fn timing_table_has_mean_median_p95_columns() {
+        use crate::timing::{AlgoTiming, TimingPoint, TimingResult};
+        let result = TimingResult {
+            axis: "K".into(),
+            points: vec![TimingPoint {
+                x: 4.0,
+                algos: vec![AlgoTiming {
+                    algo: "DRP".into(),
+                    mean_ms: 1.5,
+                    median_ms: 1.25,
+                    p95_ms: 2.75,
+                }],
+            }],
+        };
+        let table = ReportTable::from_timing("Figure 6", &result);
+        assert_eq!(
+            table.header,
+            vec!["K", "DRP mean (ms)", "DRP p50 (ms)", "DRP p95 (ms)"]
+        );
+        assert_eq!(table.rows[0], vec!["4", "1.500", "1.250", "2.750"]);
     }
 
     #[test]

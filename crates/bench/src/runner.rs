@@ -14,6 +14,16 @@ use crate::report::{write_reports, ReportTable};
 use crate::sweep::run_sweep;
 use crate::timing::run_timing_sweep;
 
+/// Writes the telemetry snapshot accumulated so far next to a figure's
+/// report files (`<stem>.metrics.json`). A no-op when the `obs`
+/// feature is off or recording is disabled at runtime.
+fn write_metrics_snapshot(dir: &Path, stem: &str) -> io::Result<()> {
+    if dbcast_obs::enabled() {
+        dbcast_obs::snapshot::write_global(&dir.join(format!("{stem}.metrics.json")))?;
+    }
+    Ok(())
+}
+
 fn waiting_figure(
     config: &ExperimentConfig,
     axis: SweepAxis,
@@ -23,7 +33,9 @@ fn waiting_figure(
 ) -> io::Result<String> {
     let result = run_sweep(config, &axis, &AlgoSpec::paper_lineup());
     let table = ReportTable::from_sweep(title, &result);
-    write_reports(dir, stem, &table)
+    let md = write_reports(dir, stem, &table)?;
+    write_metrics_snapshot(dir, stem)?;
+    Ok(md)
 }
 
 /// Figure 2: number of channels `K` vs average waiting time.
@@ -92,10 +104,13 @@ pub fn run_fig5(config: &ExperimentConfig, dir: &Path) -> io::Result<String> {
 ///
 /// Propagates filesystem errors while writing reports.
 pub fn run_fig6(config: &ExperimentConfig, dir: &Path) -> io::Result<String> {
-    let result = run_timing_sweep(config, &SweepAxis::paper_channels(), &AlgoSpec::timing_lineup());
+    let result =
+        run_timing_sweep(config, &SweepAxis::paper_channels(), &AlgoSpec::timing_lineup());
     let table =
         ReportTable::from_timing("Figure 6: channel number K vs execution time", &result);
-    write_reports(dir, "fig6_exec_channels", &table)
+    let md = write_reports(dir, "fig6_exec_channels", &table)?;
+    write_metrics_snapshot(dir, "fig6_exec_channels")?;
+    Ok(md)
 }
 
 /// Figure 7: number of broadcast items `N` vs execution time.
@@ -104,10 +119,13 @@ pub fn run_fig6(config: &ExperimentConfig, dir: &Path) -> io::Result<String> {
 ///
 /// Propagates filesystem errors while writing reports.
 pub fn run_fig7(config: &ExperimentConfig, dir: &Path) -> io::Result<String> {
-    let result = run_timing_sweep(config, &SweepAxis::paper_items(), &AlgoSpec::timing_lineup());
+    let result =
+        run_timing_sweep(config, &SweepAxis::paper_items(), &AlgoSpec::timing_lineup());
     let table =
         ReportTable::from_timing("Figure 7: broadcast items N vs execution time", &result);
-    write_reports(dir, "fig7_exec_items", &table)
+    let md = write_reports(dir, "fig7_exec_items", &table)?;
+    write_metrics_snapshot(dir, "fig7_exec_items")?;
+    Ok(md)
 }
 
 /// Tables 2–4: replays the paper's worked example (the Table 2 profile,
@@ -119,9 +137,7 @@ pub fn run_fig7(config: &ExperimentConfig, dir: &Path) -> io::Result<String> {
 /// Propagates filesystem errors while writing the report.
 pub fn run_tables(dir: &Path) -> io::Result<String> {
     let db = paper::table2_profile();
-    let outcome = DrpCds::new()
-        .allocate_traced(&db, 5)
-        .expect("paper example is feasible");
+    let outcome = DrpCds::new().allocate_traced(&db, 5).expect("paper example is feasible");
 
     let mut md = String::from("## Tables 2-4: the paper's worked example\n\n");
     md.push_str("### Table 2 profile (15 items, 5 channels)\n\n");
@@ -173,6 +189,7 @@ pub fn run_tables(dir: &Path) -> io::Result<String> {
 
     std::fs::create_dir_all(dir)?;
     std::fs::write(dir.join("tables_2_3_4.md"), &md)?;
+    write_metrics_snapshot(dir, "tables_2_3_4")?;
     Ok(md)
 }
 
@@ -201,9 +218,8 @@ pub fn run_sim_validation(config: &ExperimentConfig, dir: &Path) -> io::Result<S
             .seed(seed)
             .build()
             .expect("valid parameters");
-        let alloc = DrpCds::new()
-            .allocate(&db, config.channels)
-            .expect("feasible instance");
+        let alloc =
+            DrpCds::new().allocate(&db, config.channels).expect("feasible instance");
         let trace = TraceBuilder::new(&db)
             .requests(30_000)
             .seed(seed.wrapping_add(1000))
@@ -219,7 +235,9 @@ pub fn run_sim_validation(config: &ExperimentConfig, dir: &Path) -> io::Result<S
             format!("{:.4}", report.ci95),
         ]);
     }
-    write_reports(dir, "sim_validation", &table)
+    let md = write_reports(dir, "sim_validation", &table)?;
+    write_metrics_snapshot(dir, "sim_validation")?;
+    Ok(md)
 }
 
 #[cfg(test)]

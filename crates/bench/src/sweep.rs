@@ -1,6 +1,7 @@
 //! The parallel sweep runner behind Figures 2–5.
 
 use dbcast_model::average_waiting_time;
+use dbcast_sim::SummaryStats;
 use dbcast_workload::{SizeDistribution, WorkloadBuilder};
 use serde::{Deserialize, Serialize};
 
@@ -73,9 +74,8 @@ fn run_cell(
     algos
         .iter()
         .map(|spec| {
-            let alloc = spec
-                .allocate(&db, k, seed)
-                .expect("paper instances are feasible (K <= N)");
+            let alloc =
+                spec.allocate(&db, k, seed).expect("paper instances are feasible (K <= N)");
             let waiting = average_waiting_time(&db, &alloc, config.bandwidth)
                 .expect("bandwidth validated by config")
                 .total();
@@ -84,10 +84,15 @@ fn run_cell(
         .collect()
 }
 
+/// Per-worker accumulator: `[point][algo] -> (waiting, cost)` stats.
+type WorkerStats = Vec<Vec<(SummaryStats, SummaryStats)>>;
+
 /// Runs a full sweep: every `(point, seed)` cell evaluates every
-/// algorithm; cells run in parallel across worker threads and results
-/// aggregate deterministically (the parallel schedule cannot affect
-/// the output because cells are seeded independently).
+/// algorithm. Cells are partitioned statically (round-robin) across
+/// worker threads; each worker accumulates its share into per-point
+/// [`SummaryStats`] and the partials combine with
+/// [`SummaryStats::merge`] (parallel Welford) in worker order, so the
+/// output is deterministic for a given worker count.
 ///
 /// # Panics
 ///
@@ -104,71 +109,73 @@ pub fn run_sweep(
 
     let points = axis.len();
     let seeds = &config.seeds;
-    let cells: Vec<(usize, u64)> = (0..points)
-        .flat_map(|p| seeds.iter().map(move |&s| (p, s)))
-        .collect();
+    let cells: Vec<(usize, u64)> =
+        (0..points).flat_map(|p| seeds.iter().map(move |&s| (p, s))).collect();
+    dbcast_obs::counter!("bench.sweep.cells").add(cells.len() as u64);
 
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(cells.len().max(1));
 
-    // (cell index) -> per-algorithm (waiting, cost).
-    let mut results: Vec<Option<Vec<(f64, f64)>>> = vec![None; cells.len()];
-    let (work_tx, work_rx) = crossbeam_channel::unbounded::<usize>();
-    let (done_tx, done_rx) = crossbeam_channel::unbounded::<(usize, Vec<(f64, f64)>)>();
-    for i in 0..cells.len() {
-        work_tx.send(i).expect("queue open");
-    }
-    drop(work_tx);
+    let empty_stats =
+        || vec![vec![(SummaryStats::new(), SummaryStats::new()); algos.len()]; points];
+    let mut per_worker: Vec<Option<WorkerStats>> = (0..workers).map(|_| None).collect();
+    let (done_tx, done_rx) = crossbeam_channel::unbounded::<(usize, WorkerStats)>();
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let work_rx = work_rx.clone();
+        for w in 0..workers {
             let done_tx = done_tx.clone();
             let cells = &cells;
             scope.spawn(move || {
-                while let Ok(i) = work_rx.recv() {
+                let _span = dbcast_obs::span!("bench.sweep.worker");
+                let mut acc = empty_stats();
+                // Static round-robin share: cells w, w+workers, ...
+                for i in (w..cells.len()).step_by(workers) {
                     let (point, seed) = cells[i];
                     let cell = run_cell(config, axis, algos, point, seed);
-                    done_tx.send((i, cell)).expect("collector alive");
+                    for (a, &(waiting, cost)) in cell.iter().enumerate() {
+                        acc[point][a].0.record(waiting);
+                        acc[point][a].1.record(cost);
+                    }
                 }
+                done_tx.send((w, acc)).expect("collector alive");
             });
         }
         drop(done_tx);
-        while let Ok((i, cell)) = done_rx.recv() {
-            results[i] = Some(cell);
+        while let Ok((w, acc)) = done_rx.recv() {
+            per_worker[w] = Some(acc);
         }
     });
 
-    let xs = axis.values();
-    let mut out = Vec::with_capacity(points);
-    for (p, &x) in xs.iter().enumerate() {
-        let mut sums = vec![(0.0f64, 0.0f64); algos.len()];
-        for (ci, &(point, _)) in cells.iter().enumerate() {
-            if point != p {
-                continue;
-            }
-            let cell = results[ci].as_ref().expect("all cells completed");
-            for (a, &(w, c)) in cell.iter().enumerate() {
-                sums[a].0 += w;
-                sums[a].1 += c;
+    // Merge worker partials in worker order — deterministic.
+    let mut merged = empty_stats();
+    for acc in per_worker.into_iter().map(|a| a.expect("every worker reported")) {
+        for (p, row) in acc.into_iter().enumerate() {
+            for (a, (waiting, cost)) in row.into_iter().enumerate() {
+                merged[p][a].0.merge(&waiting);
+                merged[p][a].1.merge(&cost);
             }
         }
-        let denom = seeds.len() as f64;
-        out.push(SweepPoint {
+    }
+
+    let xs = axis.values();
+    let out = xs
+        .iter()
+        .zip(&merged)
+        .map(|(&x, row)| SweepPoint {
             x,
             algos: algos
                 .iter()
-                .zip(&sums)
-                .map(|(spec, &(w, c))| AlgoPoint {
+                .zip(row)
+                .map(|(spec, (waiting, cost))| AlgoPoint {
                     algo: spec.name().to_string(),
-                    mean_waiting: w / denom,
-                    mean_cost: c / denom,
+                    mean_waiting: waiting.mean(),
+                    mean_cost: cost.mean(),
                 })
                 .collect(),
-        });
-    }
+        })
+        .collect();
     SweepResult { axis: axis.label().to_string(), points: out }
 }
 
@@ -231,6 +238,29 @@ mod tests {
         let series = result.series("DRP").unwrap();
         assert_eq!(series.len(), 2);
         assert!(result.series("NOPE").is_none());
+    }
+
+    #[test]
+    fn merged_means_match_serial_reference() {
+        let cfg = tiny_config();
+        let axis = SweepAxis::Channels(vec![3]);
+        let algos = fast_algos();
+        let result = run_sweep(&cfg, &axis, &algos);
+        // Serial reference: plain sum over seeds.
+        let mut sums = vec![(0.0f64, 0.0f64); algos.len()];
+        for &seed in &cfg.seeds {
+            for (a, (w, c)) in
+                run_cell(&cfg, &axis, &algos, 0, seed).into_iter().enumerate()
+            {
+                sums[a].0 += w;
+                sums[a].1 += c;
+            }
+        }
+        let denom = cfg.seeds.len() as f64;
+        for (a, point) in result.points[0].algos.iter().enumerate() {
+            assert!((point.mean_waiting - sums[a].0 / denom).abs() < 1e-9);
+            assert!((point.mean_cost - sums[a].1 / denom).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -2,20 +2,34 @@
 
 use std::time::Instant;
 
+use dbcast_sim::SummaryStats;
 use dbcast_workload::{SizeDistribution, WorkloadBuilder};
 use serde::{Deserialize, Serialize};
 
 use crate::algos::AlgoSpec;
 use crate::config::{ExperimentConfig, SweepAxis};
 
-/// Mean execution time of each algorithm at one sweep point.
+/// Wall-clock statistics of one algorithm at one sweep point, over the
+/// configured seeds (all in milliseconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlgoTiming {
+    /// Algorithm name.
+    pub algo: String,
+    /// Mean execution time.
+    pub mean_ms: f64,
+    /// Median (p50) execution time.
+    pub median_ms: f64,
+    /// 95th-percentile execution time.
+    pub p95_ms: f64,
+}
+
+/// Execution-time statistics of each algorithm at one sweep point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TimingPoint {
     /// The x-coordinate (K or N).
     pub x: f64,
-    /// `(algorithm name, mean wall-clock milliseconds)` in registry
-    /// order.
-    pub algos: Vec<(String, f64)>,
+    /// Per-algorithm timings, in registry order.
+    pub algos: Vec<AlgoTiming>,
 }
 
 /// A completed timing sweep.
@@ -27,7 +41,8 @@ pub struct TimingResult {
     pub points: Vec<TimingPoint>,
 }
 
-/// Measures mean wall-clock execution time per algorithm per point.
+/// Measures wall-clock execution time per algorithm per point,
+/// reporting mean, median and p95 over the seeds.
 ///
 /// Unlike [`run_sweep`](crate::run_sweep) this runs **serially** —
 /// concurrent cells would contend for cores and corrupt the
@@ -51,7 +66,7 @@ pub fn run_timing_sweep(
     let mut points = Vec::with_capacity(axis.len());
     for (p, &x) in xs.iter().enumerate() {
         let (n, k, phi, theta) = config.at_point(axis, p);
-        let mut totals = vec![0.0f64; algos.len()];
+        let mut samples = vec![SummaryStats::new(); algos.len()];
         for &seed in &config.seeds {
             let db = WorkloadBuilder::new(n)
                 .skewness(theta)
@@ -66,16 +81,20 @@ pub fn run_timing_sweep(
                 // Keep the allocation alive past the timer so the work
                 // cannot be optimized away.
                 std::hint::black_box(&alloc);
-                totals[a] += elapsed;
+                samples[a].record(elapsed);
             }
         }
-        let denom = config.seeds.len() as f64;
         points.push(TimingPoint {
             x,
             algos: algos
                 .iter()
-                .zip(&totals)
-                .map(|(spec, &t)| (spec.name().to_string(), t / denom))
+                .zip(&samples)
+                .map(|(spec, s)| AlgoTiming {
+                    algo: spec.name().to_string(),
+                    mean_ms: s.mean(),
+                    median_ms: s.percentile(50.0).expect("at least one seed"),
+                    p95_ms: s.percentile(95.0).expect("at least one seed"),
+                })
                 .collect(),
         });
     }
@@ -99,10 +118,27 @@ mod tests {
         let result = run_timing_sweep(&cfg, &axis, &[AlgoSpec::Drp, AlgoSpec::DrpCds]);
         assert_eq!(result.points.len(), 2);
         for p in &result.points {
-            for (name, ms) in &p.algos {
-                assert!(*ms >= 0.0, "{name} took {ms} ms");
+            for t in &p.algos {
+                assert!(t.mean_ms >= 0.0, "{} took {} ms", t.algo, t.mean_ms);
+                assert!(t.median_ms >= 0.0);
+                assert!(t.p95_ms >= t.median_ms - 1e-12, "{}: p95 below median", t.algo);
             }
         }
+    }
+
+    #[test]
+    fn single_seed_collapses_the_percentiles() {
+        let cfg = ExperimentConfig {
+            items: 12,
+            channels: 2,
+            seeds: vec![0],
+            ..ExperimentConfig::default()
+        };
+        let axis = SweepAxis::Channels(vec![2]);
+        let result = run_timing_sweep(&cfg, &axis, &[AlgoSpec::Drp]);
+        let t = &result.points[0].algos[0];
+        assert!((t.mean_ms - t.median_ms).abs() < 1e-12);
+        assert!((t.p95_ms - t.median_ms).abs() < 1e-12);
     }
 
     #[test]
@@ -122,8 +158,8 @@ mod tests {
         });
         let result = run_timing_sweep(&cfg, &axis, &[AlgoSpec::DrpCds, gopt]);
         let p = &result.points[0];
-        let drpcds_ms = p.algos[0].1;
-        let gopt_ms = p.algos[1].1;
+        let drpcds_ms = p.algos[0].mean_ms;
+        let gopt_ms = p.algos[1].mean_ms;
         assert!(
             gopt_ms > drpcds_ms,
             "GOPT ({gopt_ms} ms) should dwarf DRP-CDS ({drpcds_ms} ms)"

@@ -76,11 +76,7 @@ mod tests {
         let db = WorkloadBuilder::new(50).skewness(1.2).seed(seed).build().unwrap();
         let alloc = DrpCds::new().allocate(&db, 4).unwrap();
         let program = BroadcastProgram::new(&db, &alloc, 10.0).unwrap();
-        let trace = TraceBuilder::new(&db)
-            .requests(8_000)
-            .seed(seed + 7)
-            .build()
-            .unwrap();
+        let trace = TraceBuilder::new(&db).requests(8_000).seed(seed + 7).build().unwrap();
         (db, program, trace)
     }
 
@@ -100,8 +96,8 @@ mod tests {
         let mut prev_hits = -1.0;
         let mut prev_wait = f64::INFINITY;
         for budget in [0.0, 20.0, 80.0, 320.0] {
-            let r = evaluate_with_cache(&db, &program, &trace, LruCache::new(budget))
-                .unwrap();
+            let r =
+                evaluate_with_cache(&db, &program, &trace, LruCache::new(budget)).unwrap();
             assert!(r.hit_ratio >= prev_hits - 0.02, "budget {budget}");
             assert!(r.mean_waiting <= prev_wait + 1e-9, "budget {budget}");
             prev_hits = r.hit_ratio;
@@ -138,8 +134,8 @@ mod tests {
     fn full_budget_caches_everything_eventually() {
         let (db, program, trace) = setup(3);
         let total_size = db.stats().total_size;
-        let r = evaluate_with_cache(&db, &program, &trace, LruCache::new(total_size))
-            .unwrap();
+        let r =
+            evaluate_with_cache(&db, &program, &trace, LruCache::new(total_size)).unwrap();
         // Every item is admitted on first miss and never evicted, so
         // misses are bounded by the catalogue size.
         let max_misses = db.len() as f64 / trace.len() as f64;

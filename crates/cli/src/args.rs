@@ -48,7 +48,7 @@ impl fmt::Display for ArgsError {
 impl std::error::Error for ArgsError {}
 
 /// Option keys that act as bare switches (no value).
-const SWITCHES: &[&str] = &["json", "quick", "help", "trace"];
+const SWITCHES: &[&str] = &["json", "quick", "help", "trace", "simulate"];
 
 impl Args {
     /// Parses an iterator of raw arguments (without the program name).
@@ -70,7 +70,8 @@ impl Args {
                 if SWITCHES.contains(&key) {
                     args.switches.push(key.to_string());
                 } else {
-                    let value = it.next().ok_or_else(|| ArgsError::MissingValue(key.into()))?;
+                    let value =
+                        it.next().ok_or_else(|| ArgsError::MissingValue(key.into()))?;
                     args.options.insert(key.to_string(), value);
                 }
             } else if args.command.is_none() {
@@ -100,10 +101,10 @@ impl Args {
     pub fn opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, ArgsError> {
         match self.options.get(key) {
             None => Ok(None),
-            Some(v) => v.parse().map(Some).map_err(|_| ArgsError::Invalid {
-                key: key.to_string(),
-                value: v.clone(),
-            }),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| ArgsError::Invalid { key: key.to_string(), value: v.clone() }),
         }
     }
 
@@ -123,7 +124,11 @@ impl Args {
     /// # Errors
     ///
     /// [`ArgsError::Invalid`] when present but unparseable.
-    pub fn opt_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgsError> {
+    pub fn opt_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, ArgsError> {
         Ok(self.opt(key)?.unwrap_or(default))
     }
 }
@@ -135,7 +140,8 @@ mod tests {
     #[test]
     fn parses_command_options_and_switches() {
         let args =
-            Args::parse(["allocate", "--channels", "5", "--algo", "drp-cds", "--json"]).unwrap();
+            Args::parse(["allocate", "--channels", "5", "--algo", "drp-cds", "--json"])
+                .unwrap();
         assert_eq!(args.command(), Some("allocate"));
         assert_eq!(args.require::<usize>("channels").unwrap(), 5);
         assert_eq!(args.require::<String>("algo").unwrap(), "drp-cds");
@@ -162,14 +168,8 @@ mod tests {
     #[test]
     fn required_and_invalid() {
         let args = Args::parse(["gen", "--items", "abc"]).unwrap();
-        assert!(matches!(
-            args.require::<usize>("items"),
-            Err(ArgsError::Invalid { .. })
-        ));
-        assert!(matches!(
-            args.require::<usize>("channels"),
-            Err(ArgsError::Required(_))
-        ));
+        assert!(matches!(args.require::<usize>("items"), Err(ArgsError::Invalid { .. })));
+        assert!(matches!(args.require::<usize>("channels"), Err(ArgsError::Required(_))));
         assert_eq!(args.opt_or::<usize>("channels", 6).unwrap(), 6);
     }
 

@@ -25,7 +25,10 @@ pub fn run_index(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
     let header = args.opt_or("header", 0.1f64)?;
     let active_mw = args.opt_or("active-mw", 250.0f64)?;
     let doze_mw = args.opt_or("doze-mw", 5.0f64)?;
-    if !(active_mw.is_finite() && doze_mw.is_finite() && doze_mw >= 0.0 && active_mw >= doze_mw)
+    if !(active_mw.is_finite()
+        && doze_mw.is_finite()
+        && doze_mw >= 0.0
+        && active_mw >= doze_mw)
     {
         return Err(CliError::InvalidOption(format!(
             "radio powers active={active_mw} doze={doze_mw} (need active >= doze >= 0)"

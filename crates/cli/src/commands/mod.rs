@@ -7,6 +7,7 @@ mod index_cmd;
 mod paper_example;
 mod replicate;
 mod simulate;
+mod stats;
 mod sweep;
 
 pub use allocate::run_allocate;
@@ -16,6 +17,7 @@ pub use index_cmd::run_index;
 pub use paper_example::run_paper_example;
 pub use replicate::run_replicate;
 pub use simulate::run_simulate;
+pub use stats::run_stats;
 pub use sweep::run_sweep_cmd;
 
 use std::fmt;
@@ -150,7 +152,10 @@ pub(crate) fn describe_allocation(
     for (i, stats) in alloc.all_channel_stats().iter().enumerate() {
         out.push_str(&format!(
             "channel {i}: {} items, F = {:.4}, Z = {:.2}, cost = {:.4}\n",
-            stats.items, stats.frequency, stats.size, stats.cost()
+            stats.items,
+            stats.frequency,
+            stats.size,
+            stats.cost()
         ));
     }
     out.push_str(&format!("total cost (Eq. 3): {:.4}\n", alloc.total_cost()));

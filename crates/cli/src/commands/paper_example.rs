@@ -13,7 +13,10 @@ use crate::commands::CliError;
 /// # Errors
 ///
 /// I/O failures only (the example itself always succeeds).
-pub fn run_paper_example(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
+pub fn run_paper_example(
+    args: &Args,
+    out: &mut impl std::io::Write,
+) -> Result<(), CliError> {
     let db = dbcast_workload::paper::table2_profile();
     let outcome = DrpCds::new().allocate_traced(&db, 5)?;
 
@@ -24,7 +27,13 @@ pub fn run_paper_example(args: &Args, out: &mut impl std::io::Write) -> Result<(
             for (g, snap) in it.groups.iter().enumerate() {
                 let members: Vec<String> =
                     snap.members.iter().map(|m| format!("d{}", m.index() + 1)).collect();
-                writeln!(out, "  group {}: {{{}}} cost {:.2}", g + 1, members.join(" "), snap.cost)?;
+                writeln!(
+                    out,
+                    "  group {}: {{{}}} cost {:.2}",
+                    g + 1,
+                    members.join(" "),
+                    snap.cost
+                )?;
             }
         }
         for (i, s) in outcome.cds.steps.iter().enumerate() {
@@ -40,7 +49,11 @@ pub fn run_paper_example(args: &Args, out: &mut impl std::io::Write) -> Result<(
             )?;
         }
     }
-    writeln!(out, "DRP cost: {:.2} (paper Table 3: 24.09 from rounded groups)", outcome.drp.allocation.total_cost())?;
+    writeln!(
+        out,
+        "DRP cost: {:.2} (paper Table 3: 24.09 from rounded groups)",
+        outcome.drp.allocation.total_cost()
+    )?;
     writeln!(out, "DRP-CDS cost: {:.2} (paper Table 4: 22.29)", outcome.cds.final_cost())?;
     writeln!(out, "CDS moves applied: {}", outcome.cds.steps.len())?;
     Ok(())

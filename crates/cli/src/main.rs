@@ -27,6 +27,7 @@ COMMANDS:
     sweep           Run one of the paper's parameter sweeps
     index           (1, m) air-indexing report (access/tuning/energy)
     replicate       Greedy replication on top of an allocation
+    stats           Run one allocation under telemetry, print metrics JSON
 
 COMMON OPTIONS:
     --db PATH         Load a workload from JSON (otherwise one is generated)
@@ -37,6 +38,8 @@ COMMON OPTIONS:
     --channels K      Broadcast channels           [default: 6]
     --bandwidth B     Size units per second        [default: 10]
     --algo NAME       flat|vfk|greedy|drp|drp-cds|dp|gopt [default: drp-cds]
+    --metrics-out P   Write a telemetry snapshot (JSON) to P after the command
+    --log-level L     error|warn|info|debug|trace  [default: warn]
 
 COMMAND-SPECIFIC:
     generate:  --out PATH     write JSON here instead of stdout
@@ -47,6 +50,10 @@ COMMAND-SPECIFIC:
     sweep:     --axis A       k | n | phi | theta  [default: k]
                --seeds S      average over S seeds
                --quick        3 seeds instead of 20
+    stats:     --simulate     also drive the simulator for engine metrics
+
+Telemetry (--metrics-out, stats) records real data only when the binary
+is built with `--features obs`; otherwise the snapshot is empty.
 ";
 
 fn run() -> Result<(), CliError> {
@@ -56,6 +63,27 @@ fn run() -> Result<(), CliError> {
         print!("{USAGE}");
         return Ok(());
     }
+
+    if let Some(level) = args.opt::<String>("log-level")? {
+        let parsed = dbcast_obs::log::Level::parse(&level).ok_or_else(|| {
+            CliError::InvalidOption(format!(
+                "--log-level {level:?}; expected error|warn|info|debug|trace"
+            ))
+        })?;
+        dbcast_obs::log::set_level(parsed);
+    }
+
+    let metrics_out = args.opt::<String>("metrics-out")?;
+    if metrics_out.is_some() {
+        dbcast_obs::set_enabled(true);
+        if !dbcast_obs::enabled() {
+            eprintln!(
+                "warning: built without the `obs` feature; \
+                 the --metrics-out snapshot will be empty"
+            );
+        }
+    }
+
     match args.command() {
         Some("generate") => commands::run_generate(&args, &mut stdout),
         Some("allocate") => commands::run_allocate(&args, &mut stdout),
@@ -65,11 +93,17 @@ fn run() -> Result<(), CliError> {
         Some("sweep") => commands::run_sweep_cmd(&args, &mut stdout),
         Some("index") => commands::run_index(&args, &mut stdout),
         Some("replicate") => commands::run_replicate(&args, &mut stdout),
+        Some("stats") => commands::run_stats(&args, &mut stdout),
         _ => {
             print!("{USAGE}");
             Ok(())
         }
+    }?;
+
+    if let Some(path) = metrics_out {
+        dbcast_obs::snapshot::write_global(std::path::Path::new(&path))?;
     }
+    Ok(())
 }
 
 fn main() {

@@ -28,8 +28,7 @@ fn generate_allocate_roundtrip_through_file() {
     let path = dir.join("wl.json");
     let path_str = path.to_str().unwrap().to_string();
 
-    let gen_args =
-        Args::parse(["generate", "--items", "20", "--out", &path_str]).unwrap();
+    let gen_args = Args::parse(["generate", "--items", "20", "--out", &path_str]).unwrap();
     let msg = run(|w| commands::run_generate(&gen_args, w));
     assert!(msg.contains("wrote 20 items"));
 
@@ -44,10 +43,8 @@ fn generate_allocate_roundtrip_through_file() {
 
 #[test]
 fn allocate_json_emits_parseable_allocation() {
-    let args = Args::parse([
-        "allocate", "--items", "12", "--channels", "3", "--json",
-    ])
-    .unwrap();
+    let args =
+        Args::parse(["allocate", "--items", "12", "--channels", "3", "--json"]).unwrap();
     let out = run(|w| commands::run_allocate(&args, w));
     let alloc: serde_json::Value = serde_json::from_str(&out).expect("valid json");
     assert!(alloc.get("assignment").is_some());
@@ -64,10 +61,9 @@ fn evaluate_lists_all_algorithms() {
 
 #[test]
 fn simulate_reports_percentiles_and_loads() {
-    let args = Args::parse([
-        "simulate", "--items", "15", "--channels", "3", "--requests", "500",
-    ])
-    .unwrap();
+    let args =
+        Args::parse(["simulate", "--items", "15", "--channels", "3", "--requests", "500"])
+            .unwrap();
     let out = run(|w| commands::run_simulate(&args, w));
     assert!(out.contains("requests completed: 500"));
     assert!(out.contains("p50/p95/p99"));
@@ -84,10 +80,9 @@ fn paper_example_prints_published_costs() {
 
 #[test]
 fn sweep_quick_produces_table() {
-    let args = Args::parse([
-        "sweep", "--axis", "k", "--quick", "--items", "25", "--seeds", "1",
-    ])
-    .unwrap();
+    let args =
+        Args::parse(["sweep", "--axis", "k", "--quick", "--items", "25", "--seeds", "1"])
+            .unwrap();
     let out = run(|w| commands::run_sweep_cmd(&args, w));
     assert!(out.contains("DRP-CDS"));
     assert!(out.lines().filter(|l| l.starts_with('|')).count() >= 9);
@@ -104,7 +99,15 @@ fn index_reports_battery_stretch() {
 #[test]
 fn index_rejects_inverted_radio_powers() {
     let args = Args::parse([
-        "index", "--items", "10", "--channels", "2", "--active-mw", "1", "--doze-mw", "5",
+        "index",
+        "--items",
+        "10",
+        "--channels",
+        "2",
+        "--active-mw",
+        "1",
+        "--doze-mw",
+        "5",
     ])
     .unwrap();
     let mut out = Vec::new();
@@ -114,10 +117,9 @@ fn index_rejects_inverted_radio_powers() {
 
 #[test]
 fn replicate_reports_accepted_replicas() {
-    let args = Args::parse([
-        "replicate", "--items", "30", "--channels", "3", "--algo", "flat",
-    ])
-    .unwrap();
+    let args =
+        Args::parse(["replicate", "--items", "30", "--channels", "3", "--algo", "flat"])
+            .unwrap();
     let out = run(|w| commands::run_replicate(&args, w));
     assert!(out.contains("estimated W_b"));
 }

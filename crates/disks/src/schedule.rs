@@ -168,21 +168,14 @@ impl OnlineScheduler {
         // Optimal spacings: s_i = C sqrt(z_i / f_i), with C filling the
         // channel: Σ (z_i / b) / s_i = 1.
         let raw: Vec<f64> = self.items.iter().map(|&(f, z)| (z / f).sqrt()).collect();
-        let c: f64 = self
-            .items
-            .iter()
-            .zip(&raw)
-            .map(|(&(_, z), &s)| z / (self.bandwidth * s))
-            .sum();
+        let c: f64 =
+            self.items.iter().zip(&raw).map(|(&(_, z), &s)| z / (self.bandwidth * s)).sum();
         let spacing: Vec<f64> = raw.iter().map(|&s| s * c).collect();
 
         // Earliest-due-first dispatch, staggered initial phases so the
         // first cycle is already interleaved.
-        let mut due: Vec<f64> = spacing
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| s * i as f64 / n as f64)
-            .collect();
+        let mut due: Vec<f64> =
+            spacing.iter().enumerate().map(|(i, &s)| s * i as f64 / n as f64).collect();
         let mut entries = Vec::new();
         let mut per_item = vec![Vec::new(); n];
         let mut t = 0.0;
@@ -254,8 +247,7 @@ mod tests {
             .seed(3)
             .build()
             .unwrap();
-        let items: Vec<(f64, f64)> =
-            db.iter().map(|d| (d.frequency(), d.size())).collect();
+        let items: Vec<(f64, f64)> = db.iter().map(|d| (d.frequency(), d.size())).collect();
         let b = 10.0;
         let horizon = 4_000.0;
         let s = OnlineScheduler::new(&items, b).unwrap().generate(horizon);

@@ -32,10 +32,7 @@ pub fn sqrt_rule_probe_bound(items: &[(f64, f64)], bandwidth: f64) -> f64 {
 
 fn validate(items: &[(f64, f64)], bandwidth: f64) {
     assert!(!items.is_empty(), "at least one item required");
-    assert!(
-        bandwidth.is_finite() && bandwidth > 0.0,
-        "bandwidth must be positive"
-    );
+    assert!(bandwidth.is_finite() && bandwidth > 0.0, "bandwidth must be positive");
     assert!(
         items.iter().all(|&(f, z)| f > 0.0 && z > 0.0),
         "item features must be positive"
@@ -55,7 +52,8 @@ mod tests {
         ];
         for items in cases {
             assert!(
-                sqrt_rule_probe_bound(&items, 10.0) <= flat_probe_time(&items, 10.0) + 1e-12
+                sqrt_rule_probe_bound(&items, 10.0)
+                    <= flat_probe_time(&items, 10.0) + 1e-12
             );
         }
     }
@@ -69,7 +67,9 @@ mod tests {
         assert!((lb - flat).abs() < 1e-12, "{lb} vs {flat}");
 
         let skewed = vec![(0.9, 1.0), (0.1, 10.0)];
-        assert!(sqrt_rule_probe_bound(&skewed, 10.0) < flat_probe_time(&skewed, 10.0) - 1e-6);
+        assert!(
+            sqrt_rule_probe_bound(&skewed, 10.0) < flat_probe_time(&skewed, 10.0) - 1e-6
+        );
     }
 
     #[test]

@@ -36,11 +36,7 @@ fn load(frequency: f64, size: f64, fz: f64) -> f64 {
 /// assert_eq!(perm, vec![1, 0]); // heavy group rides the 40-unit channel
 /// ```
 pub fn assign_groups(groups: &[(f64, f64, f64)], bw: &Bandwidths) -> Vec<usize> {
-    assert_eq!(
-        groups.len(),
-        bw.channels(),
-        "one group per channel is required"
-    );
+    assert_eq!(groups.len(), bw.channels(), "one group per channel is required");
     let mut group_order: Vec<usize> = (0..groups.len()).collect();
     group_order.sort_by(|&a, &b| {
         let la = load(groups[a].0, groups[a].1, groups[a].2);
@@ -94,11 +90,7 @@ mod tests {
     }
 
     fn cost_of(groups: &[(f64, f64, f64)], bw: &Bandwidths, perm: &[usize]) -> f64 {
-        groups
-            .iter()
-            .zip(perm)
-            .map(|(&(f, z, s), &c)| load(f, z, s) / bw.get(c))
-            .sum()
+        groups.iter().zip(perm).map(|(&(f, z, s), &c)| load(f, z, s) / bw.get(c)).sum()
     }
 
     #[test]
@@ -114,7 +106,8 @@ mod tests {
     fn matches_brute_force_on_random_instances() {
         let mut state = 99u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state =
+                state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / u32::MAX as f64 + 0.05
         };
         for k in 2..=6 {
@@ -140,7 +133,9 @@ mod tests {
         let groups = [(0.5, 8.0, 3.0), (0.3, 2.0, 0.5), (0.2, 30.0, 4.0)];
         let perm = assign_groups(&groups, &bw);
         let identity = [0usize, 1, 2];
-        assert!((cost_of(&groups, &bw, &perm) - cost_of(&groups, &bw, &identity)).abs() < 1e-12);
+        assert!(
+            (cost_of(&groups, &bw, &perm) - cost_of(&groups, &bw, &identity)).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -137,7 +137,13 @@ impl HeteroCds {
             }
         }
         let final_waiting = tracker.total_cost();
-        Ok(HeteroCdsOutcome { allocation: alloc, initial_waiting, final_waiting, moves, converged })
+        Ok(HeteroCdsOutcome {
+            allocation: alloc,
+            initial_waiting,
+            final_waiting,
+            moves,
+            converged,
+        })
     }
 }
 
@@ -184,10 +190,7 @@ mod tests {
         // homogeneous cost (possibly different local optima — compare
         // costs, not assignments).
         let db = WorkloadBuilder::new(40).seed(6).build().unwrap();
-        let start = dbcast_alloc::Drp::new()
-            .allocate_traced(&db, 4)
-            .unwrap()
-            .allocation;
+        let start = dbcast_alloc::Drp::new().allocate_traced(&db, 4).unwrap().allocation;
         let bw = Bandwidths::uniform(4, 10.0).unwrap();
         let hetero = HeteroCds::new(bw).refine(&db, start.clone()).unwrap();
         let plain = dbcast_alloc::Cds::new().refine(&db, start).unwrap();

@@ -103,7 +103,10 @@ pub fn hetero_waiting_time(
     bw: &Bandwidths,
 ) -> Result<f64, ModelError> {
     if alloc.items() != db.len() {
-        return Err(ModelError::AssignmentLength { expected: db.len(), actual: alloc.items() });
+        return Err(ModelError::AssignmentLength {
+            expected: db.len(),
+            actual: alloc.items(),
+        });
     }
     if alloc.channels() != bw.channels() {
         return Err(ModelError::ChannelOutOfRange {
@@ -213,10 +216,10 @@ impl HeteroTracker {
         }
         let (bp, bq) = (self.bw.get(p), self.bw.get(q));
         let before = self.channel_cost(p) + self.channel_cost(q);
-        let after_p =
-            (self.freq[p] - f) * (self.size[p] - z) / (2.0 * bp) + (self.fz[p] - f * z) / bp;
-        let after_q =
-            (self.freq[q] + f) * (self.size[q] + z) / (2.0 * bq) + (self.fz[q] + f * z) / bq;
+        let after_p = (self.freq[p] - f) * (self.size[p] - z) / (2.0 * bp)
+            + (self.fz[p] - f * z) / bp;
+        let after_q = (self.freq[q] + f) * (self.size[q] + z) / (2.0 * bq)
+            + (self.fz[q] + f * z) / bq;
         before - after_p - after_q
     }
 

@@ -85,8 +85,11 @@ impl HeteroDrpCds {
         let assigned = Allocation::from_assignment(db, k, reassigned)?;
 
         if !self.cds {
-            let tracker =
-                crate::model::HeteroTracker::from_allocation(db, &assigned, self.bw.clone());
+            let tracker = crate::model::HeteroTracker::from_allocation(
+                db,
+                &assigned,
+                self.bw.clone(),
+            );
             let w = tracker.total_cost();
             return Ok(HeteroCdsOutcome {
                 allocation: assigned,
@@ -132,10 +135,8 @@ mod tests {
         let bw = Bandwidths::try_new(vec![40.0, 10.0, 10.0]).unwrap();
         for seed in 0..5 {
             let db = WorkloadBuilder::new(50).seed(seed).build().unwrap();
-            let rough = HeteroDrpCds::new(bw.clone())
-                .without_refinement()
-                .allocate(&db)
-                .unwrap();
+            let rough =
+                HeteroDrpCds::new(bw.clone()).without_refinement().allocate(&db).unwrap();
             let refined = HeteroDrpCds::new(bw.clone()).allocate(&db).unwrap();
             let w_rough = hetero_waiting_time(&db, &rough, &bw).unwrap();
             let w_refined = hetero_waiting_time(&db, &refined, &bw).unwrap();

@@ -1,6 +1,8 @@
 //! Property-based tests of the heterogeneous-bandwidth extension.
 
-use dbcast_hetero::{assign_groups, hetero_waiting_time, Bandwidths, HeteroCds, HeteroTracker};
+use dbcast_hetero::{
+    assign_groups, hetero_waiting_time, Bandwidths, HeteroCds, HeteroTracker,
+};
 use dbcast_model::{Allocation, Database, ItemSpec};
 use proptest::prelude::*;
 

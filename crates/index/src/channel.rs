@@ -250,9 +250,8 @@ impl IndexedChannel {
         // begins at the index end: one ULP of rounding must not cost a
         // whole extra cycle.
         let eps = 1e-9 * self.cycle_size / bandwidth;
-        let item_start = self
-            .next_item_start(item, index_end - eps, bandwidth)?
-            .max(index_end);
+        let item_start =
+            self.next_item_start(item, index_end - eps, bandwidth)?.max(index_end);
         let access = item_start + size / bandwidth - now;
         let header_active = (self.header_size / bandwidth).min(index_start - now);
         let tuning = header_active + (self.index_size + size) / bandwidth;
@@ -300,7 +299,12 @@ impl IndexedChannel {
     }
 
     /// Mean access time over a request instant uniform in the cycle.
-    pub fn expected_access_time(&self, item: ItemId, bandwidth: f64, samples: usize) -> Option<f64> {
+    pub fn expected_access_time(
+        &self,
+        item: ItemId,
+        bandwidth: f64,
+        samples: usize,
+    ) -> Option<f64> {
         self.expected_metrics(item, bandwidth, samples).map(|(a, _)| a)
     }
 }
@@ -435,9 +439,7 @@ mod tests {
         let ch = IndexedChannel::new(&p.channels()[0], 1, 0.5, 0.0).unwrap();
         let cycle_time = ch.cycle_size() / 10.0;
         for item in 0..4 {
-            let e = ch
-                .expected_access_time(ItemId::new(item), 10.0, 2000)
-                .unwrap();
+            let e = ch.expected_access_time(ItemId::new(item), 10.0, 2000).unwrap();
             assert!(e > 0.0 && e < 2.0 * cycle_time + 1.0);
         }
     }

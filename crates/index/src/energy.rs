@@ -33,7 +33,9 @@ impl EnergyModel {
     /// Panics unless `active_mw >= doze_mw >= 0` and both are finite.
     pub fn new(active_mw: f64, doze_mw: f64) -> Self {
         assert!(
-            active_mw.is_finite() && doze_mw.is_finite() && doze_mw >= 0.0
+            active_mw.is_finite()
+                && doze_mw.is_finite()
+                && doze_mw >= 0.0
                 && active_mw >= doze_mw,
             "need active >= doze >= 0"
         );
@@ -90,8 +92,6 @@ mod tests {
     #[test]
     fn equal_powers_mean_no_saving() {
         let radio = EnergyModel::new(100.0, 100.0);
-        assert!(
-            (radio.energy(10.0, 1.0) - radio.energy_unindexed(10.0)).abs() < 1e-9
-        );
+        assert!((radio.energy(10.0, 1.0) - radio.energy_unindexed(10.0)).abs() < 1e-9);
     }
 }

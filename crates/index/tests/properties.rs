@@ -6,10 +6,9 @@ use proptest::prelude::*;
 
 fn single_channel() -> impl Strategy<Value = (Database, BroadcastProgram)> {
     prop::collection::vec((0.01f64..10.0, 0.1f64..50.0), 1..25).prop_map(|pairs| {
-        let db = Database::try_from_specs(
-            pairs.into_iter().map(|(f, z)| ItemSpec::new(f, z)),
-        )
-        .unwrap();
+        let db =
+            Database::try_from_specs(pairs.into_iter().map(|(f, z)| ItemSpec::new(f, z)))
+                .unwrap();
         let n = db.len();
         let alloc = Allocation::from_assignment(&db, 1, vec![0; n]).unwrap();
         let program = BroadcastProgram::new(&db, &alloc, 10.0).unwrap();

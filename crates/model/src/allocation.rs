@@ -8,7 +8,17 @@ use crate::item::ItemId;
 
 /// Identifier of a broadcast channel (`0 .. K`).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Serialize,
+    Deserialize,
+    Default,
 )]
 #[serde(transparent)]
 pub struct ChannelId(usize);
@@ -192,7 +202,10 @@ impl Allocation {
             }
         }
         if assigned != db.len() {
-            return Err(ModelError::AssignmentLength { expected: db.len(), actual: assigned });
+            return Err(ModelError::AssignmentLength {
+                expected: db.len(),
+                actual: assigned,
+            });
         }
         Allocation::from_assignment(db, groups.len(), assignment)
     }
@@ -213,13 +226,9 @@ impl Allocation {
     ///
     /// [`ModelError::ItemOutOfRange`] for unknown ids.
     pub fn channel_of(&self, item: ItemId) -> Result<ChannelId, ModelError> {
-        self.assignment
-            .get(item.index())
-            .map(|&c| ChannelId::new(c))
-            .ok_or(ModelError::ItemOutOfRange {
-                item: item.index(),
-                items: self.assignment.len(),
-            })
+        self.assignment.get(item.index()).map(|&c| ChannelId::new(c)).ok_or(
+            ModelError::ItemOutOfRange { item: item.index(), items: self.assignment.len() },
+        )
     }
 
     /// Aggregates of one channel.
@@ -228,13 +237,10 @@ impl Allocation {
     ///
     /// [`ModelError::ChannelOutOfRange`] for unknown channels.
     pub fn channel_stats(&self, channel: ChannelId) -> Result<ChannelStats, ModelError> {
-        self.stats
-            .get(channel.index())
-            .copied()
-            .ok_or(ModelError::ChannelOutOfRange {
-                channel: channel.index(),
-                channels: self.stats.len(),
-            })
+        self.stats.get(channel.index()).copied().ok_or(ModelError::ChannelOutOfRange {
+            channel: channel.index(),
+            channels: self.stats.len(),
+        })
     }
 
     /// Aggregates of every channel, indexed by channel id.
@@ -334,7 +340,8 @@ impl Allocation {
                 actual: self.assignment.len(),
             });
         }
-        let rebuilt = Allocation::from_assignment(db, self.stats.len(), self.assignment.clone())?;
+        let rebuilt =
+            Allocation::from_assignment(db, self.stats.len(), self.assignment.clone())?;
         for (a, b) in self.stats.iter().zip(rebuilt.stats.iter()) {
             if a.items != b.items
                 || (a.frequency - b.frequency).abs() > 1e-9
@@ -437,11 +444,8 @@ mod tests {
     fn move_reduction_matches_recomputation() {
         let db = db4();
         let a = Allocation::from_assignment(&db, 2, vec![0, 0, 1, 1]).unwrap();
-        let mv = Move {
-            item: ItemId::new(1),
-            from: ChannelId::new(0),
-            to: ChannelId::new(1),
-        };
+        let mv =
+            Move { item: ItemId::new(1), from: ChannelId::new(0), to: ChannelId::new(1) };
         let predicted = a.move_reduction(mv).unwrap();
 
         let mut b = a.clone();
@@ -456,11 +460,8 @@ mod tests {
         let db = db4();
         let mut a = Allocation::from_assignment(&db, 2, vec![0, 0, 1, 1]).unwrap();
         let before = a.clone();
-        let mv = Move {
-            item: ItemId::new(0),
-            from: ChannelId::new(0),
-            to: ChannelId::new(0),
-        };
+        let mv =
+            Move { item: ItemId::new(0), from: ChannelId::new(0), to: ChannelId::new(0) };
         assert_eq!(a.apply_move(mv).unwrap(), 0.0);
         assert_eq!(a, before);
     }
@@ -469,11 +470,8 @@ mod tests {
     fn move_from_wrong_channel_is_rejected() {
         let db = db4();
         let a = Allocation::from_assignment(&db, 2, vec![0, 0, 1, 1]).unwrap();
-        let mv = Move {
-            item: ItemId::new(0),
-            from: ChannelId::new(1),
-            to: ChannelId::new(0),
-        };
+        let mv =
+            Move { item: ItemId::new(0), from: ChannelId::new(1), to: ChannelId::new(0) };
         assert_eq!(
             a.move_reduction(mv),
             Err(ModelError::ItemNotOnChannel { item: 0, channel: 1 })
@@ -496,11 +494,8 @@ mod tests {
 
     #[test]
     fn display_of_ids_and_moves() {
-        let mv = Move {
-            item: ItemId::new(4),
-            from: ChannelId::new(1),
-            to: ChannelId::new(2),
-        };
+        let mv =
+            Move { item: ItemId::new(4), from: ChannelId::new(1), to: ChannelId::new(2) };
         assert_eq!(mv.to_string(), "d4: c1 -> c2");
         assert_eq!(ChannelId::new(5).to_string(), "c5");
     }

@@ -118,7 +118,11 @@ mod tests {
             "round-robin"
         }
 
-        fn allocate(&self, db: &Database, channels: usize) -> Result<Allocation, AllocError> {
+        fn allocate(
+            &self,
+            db: &Database,
+            channels: usize,
+        ) -> Result<Allocation, AllocError> {
             if channels == 0 {
                 return Err(ModelError::ZeroChannels.into());
             }

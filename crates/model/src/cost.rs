@@ -21,9 +21,7 @@ pub fn channel_cost<I>(items: I) -> f64
 where
     I: IntoIterator<Item = (f64, f64)>,
 {
-    let (f, z) = items
-        .into_iter()
-        .fold((0.0, 0.0), |(f, z), (fi, zi)| (f + fi, z + zi));
+    let (f, z) = items.into_iter().fold((0.0, 0.0), |(f, z), (fi, zi)| (f + fi, z + zi));
     f * z
 }
 
@@ -234,9 +232,8 @@ mod tests {
         let db = db();
         let assignment = vec![0, 1, 0, 1];
         let via_fn = allocation_cost(&db, 2, &assignment).unwrap();
-        let via_alloc = crate::Allocation::from_assignment(&db, 2, assignment)
-            .unwrap()
-            .total_cost();
+        let via_alloc =
+            crate::Allocation::from_assignment(&db, 2, assignment).unwrap().total_cost();
         assert!((via_fn - via_alloc).abs() < 1e-12);
     }
 
@@ -256,7 +253,8 @@ mod tests {
         // Deterministic pseudo-random walk over moves.
         let mut state = 12345u64;
         for _ in 0..200 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state =
+                state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             let item = (state >> 33) as usize % 4;
             let to = (state >> 17) as usize % 3;
             let from = assignment[item];

@@ -121,10 +121,9 @@ impl Database {
     ///
     /// [`ModelError::ItemOutOfRange`] if `id` does not name an item.
     pub fn item(&self, id: ItemId) -> Result<&DataItem, ModelError> {
-        self.items.get(id.index()).ok_or(ModelError::ItemOutOfRange {
-            item: id.index(),
-            items: self.items.len(),
-        })
+        self.items
+            .get(id.index())
+            .ok_or(ModelError::ItemOutOfRange { item: id.index(), items: self.items.len() })
     }
 
     /// All items in id order.
@@ -169,16 +168,9 @@ impl Database {
         let total_size: f64 = self.items.iter().map(DataItem::size).sum();
         let total_frequency: f64 = self.items.iter().map(DataItem::frequency).sum();
         let weighted_size: f64 = self.items.iter().map(|d| d.frequency() * d.size()).sum();
-        let min_size = self
-            .items
-            .iter()
-            .map(DataItem::size)
-            .fold(f64::INFINITY, f64::min);
-        let max_size = self
-            .items
-            .iter()
-            .map(DataItem::size)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let min_size = self.items.iter().map(DataItem::size).fold(f64::INFINITY, f64::min);
+        let max_size =
+            self.items.iter().map(DataItem::size).fold(f64::NEG_INFINITY, f64::max);
         DatabaseStats {
             items: self.items.len(),
             total_frequency,
@@ -235,10 +227,7 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        assert_eq!(
-            Database::try_from_specs(Vec::new()),
-            Err(ModelError::EmptyDatabase)
-        );
+        assert_eq!(Database::try_from_specs(Vec::new()), Err(ModelError::EmptyDatabase));
     }
 
     #[test]
@@ -263,8 +252,11 @@ mod tests {
 
     #[test]
     fn normalizes_frequencies() {
-        let db = Database::try_from_specs(vec![ItemSpec::new(2.0, 1.0), ItemSpec::new(6.0, 1.0)])
-            .unwrap();
+        let db = Database::try_from_specs(vec![
+            ItemSpec::new(2.0, 1.0),
+            ItemSpec::new(6.0, 1.0),
+        ])
+        .unwrap();
         let f: Vec<f64> = db.iter().map(|d| d.frequency()).collect();
         assert!((f[0] - 0.25).abs() < 1e-12);
         assert!((f[1] - 0.75).abs() < 1e-12);
@@ -313,10 +305,7 @@ mod tests {
             ItemSpec::new(0.5, 1.0),
         ])
         .unwrap();
-        assert_eq!(
-            tied.ids_by_benefit_ratio_desc(),
-            vec![ItemId::new(0), ItemId::new(1)]
-        );
+        assert_eq!(tied.ids_by_benefit_ratio_desc(), vec![ItemId::new(0), ItemId::new(1)]);
     }
 
     #[test]

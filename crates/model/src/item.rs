@@ -18,7 +18,17 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(id.to_string(), "d3");
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Serialize,
+    Deserialize,
+    Default,
 )]
 #[serde(transparent)]
 pub struct ItemId(usize);

@@ -74,7 +74,7 @@ pub use waiting::{
 pub mod prelude {
     pub use crate::{
         allocation_cost, average_waiting_time, AllocError, Allocation, BroadcastProgram,
-        ChannelAllocator, ChannelId, CostTracker, Database, DataItem, ItemId, ItemSpec,
+        ChannelAllocator, ChannelId, CostTracker, DataItem, Database, ItemId, ItemSpec,
         ModelError,
     };
 }

@@ -120,7 +120,11 @@ impl BroadcastProgram {
     ///
     /// * [`ModelError::InvalidBandwidth`] for non-positive bandwidth.
     /// * [`ModelError::AssignmentLength`] if `alloc` does not cover `db`.
-    pub fn new(db: &Database, alloc: &Allocation, bandwidth: f64) -> Result<Self, ModelError> {
+    pub fn new(
+        db: &Database,
+        alloc: &Allocation,
+        bandwidth: f64,
+    ) -> Result<Self, ModelError> {
         if !bandwidth.is_finite() || bandwidth <= 0.0 {
             return Err(ModelError::InvalidBandwidth { value: bandwidth });
         }
@@ -218,17 +222,12 @@ impl BroadcastProgram {
     /// replication, prefer [`locate_all`](Self::locate_all) or
     /// [`best_start`](Self::best_start).
     pub fn locate(&self, item: ItemId) -> Option<(&ChannelSchedule, &ScheduledItem)> {
-        self.channels
-            .iter()
-            .find_map(|c| c.slot_of(item).map(|s| (c, s)))
+        self.channels.iter().find_map(|c| c.slot_of(item).map(|s| (c, s)))
     }
 
     /// Every schedule carrying `item` (more than one under replication).
     pub fn locate_all(&self, item: ItemId) -> Vec<(&ChannelSchedule, &ScheduledItem)> {
-        self.channels
-            .iter()
-            .filter_map(|c| c.slot_of(item).map(|s| (c, s)))
-            .collect()
+        self.channels.iter().filter_map(|c| c.slot_of(item).map(|s| (c, s))).collect()
     }
 
     /// The earliest upcoming broadcast of `item` at or after `now`,
@@ -394,8 +393,10 @@ mod tests {
             vec![ItemId::new(0), ItemId::new(1)],
             vec![ItemId::new(2), ItemId::new(3), ItemId::new(0)],
         ];
-        let base = BroadcastProgram::from_overlapping_groups(&db, &base_groups, 10.0).unwrap();
-        let repl = BroadcastProgram::from_overlapping_groups(&db, &repl_groups, 10.0).unwrap();
+        let base =
+            BroadcastProgram::from_overlapping_groups(&db, &base_groups, 10.0).unwrap();
+        let repl =
+            BroadcastProgram::from_overlapping_groups(&db, &repl_groups, 10.0).unwrap();
         // The replicated item's response never worsens at any probe time;
         // (its own channel-0 schedule is unchanged, and channel 1 only
         // adds an extra opportunity).

@@ -17,9 +17,8 @@ fn db_k_assignment() -> impl Strategy<Value = (Database, usize, Vec<usize>)> {
         let n = db.len();
         (1usize..6).prop_flat_map(move |k| {
             let db = db.clone();
-            prop::collection::vec(0..k, n).prop_map(move |assignment| {
-                (db.clone(), k, assignment)
-            })
+            prop::collection::vec(0..k, n)
+                .prop_map(move |assignment| (db.clone(), k, assignment))
         })
     })
 }

@@ -1,0 +1,247 @@
+//! `dbcast-obs`: a zero-dependency telemetry layer for the dbcast
+//! workspace — monotonic counters, gauges, log-scale histograms with
+//! lock-free recording, RAII span timers, structured convergence
+//! traces, a leveled logger and a JSON snapshot exporter.
+//!
+//! # Enabling
+//!
+//! Recording is compiled in only with the `enabled` cargo feature
+//! (consumer crates re-export it as their `obs` feature). Without it,
+//! [`enabled()`] is `const false`, every `record`/`inc` body folds
+//! away, and [`span!`] never reads the clock. With the feature on, a
+//! runtime switch ([`set_enabled`]) can still silence recording.
+//!
+//! # Naming
+//!
+//! Metric names follow `<crate>.<algo>.<event>`, e.g.
+//! `alloc.drp.split_scan` or `sim.engine.events`. Dots are separators
+//! only by convention; names are opaque keys to the registry.
+//!
+//! # Hot path
+//!
+//! `counter!` / `gauge!` / `histogram!` resolve their registry entry
+//! once per call site through a static [`std::sync::OnceLock`], after
+//! which recording is a single atomic RMW — no locking, no allocation.
+
+#![forbid(unsafe_code)]
+
+pub mod log;
+pub mod metrics;
+pub mod snapshot;
+pub mod span;
+pub mod trace;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use metrics::{Counter, Gauge, Histogram};
+use trace::ConvergenceTrace;
+
+static RUNTIME_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether recording is active: requires the `enabled` cargo feature
+/// AND the runtime switch. With the feature off this is a compile-time
+/// `false`, so callers' recording branches disappear entirely.
+#[inline(always)]
+pub fn enabled() -> bool {
+    cfg!(feature = "enabled") && RUNTIME_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Flips the runtime recording switch (a no-op without the `enabled`
+/// cargo feature, where recording cannot happen regardless).
+pub fn set_enabled(on: bool) {
+    RUNTIME_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The process-wide metric registry.
+pub struct Registry {
+    counters: Mutex<Vec<(String, &'static Counter)>>,
+    gauges: Mutex<Vec<(String, &'static Gauge)>>,
+    histograms: Mutex<Vec<(String, &'static Histogram)>>,
+    traces: Mutex<Vec<ConvergenceTrace>>,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            counters: Mutex::new(Vec::new()),
+            gauges: Mutex::new(Vec::new()),
+            histograms: Mutex::new(Vec::new()),
+            traces: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Returns the counter registered under `name`, creating it on
+    /// first use. The reference is `'static`: metrics live for the
+    /// whole process so call sites can cache them.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        Self::intern(&self.counters, name, Counter::new)
+    }
+
+    /// Returns the gauge registered under `name`.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        Self::intern(&self.gauges, name, Gauge::new)
+    }
+
+    /// Returns the histogram registered under `name`.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        Self::intern(&self.histograms, name, Histogram::new)
+    }
+
+    fn intern<T: 'static>(
+        table: &Mutex<Vec<(String, &'static T)>>,
+        name: &str,
+        make: fn() -> T,
+    ) -> &'static T {
+        let mut table = table.lock().expect("registry poisoned");
+        if let Some((_, m)) = table.iter().find(|(n, _)| n == name) {
+            return m;
+        }
+        let leaked: &'static T = Box::leak(Box::new(make()));
+        table.push((name.to_string(), leaked));
+        leaked
+    }
+
+    /// Appends a completed convergence trace (honouring [`enabled()`]).
+    pub fn record_trace(&self, trace: ConvergenceTrace) {
+        if !enabled() {
+            return;
+        }
+        self.traces.lock().expect("registry poisoned").push(trace);
+    }
+
+    /// Takes a point-in-time copy of every metric and trace.
+    pub fn snapshot(&self) -> snapshot::Snapshot {
+        snapshot::Snapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(n, g)| (n.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+            traces: self.traces.lock().expect("registry poisoned").clone(),
+        }
+    }
+
+    /// Zeroes every metric and discards traces. Registrations (and the
+    /// `'static` references handed out) stay valid.
+    pub fn reset(&self) {
+        for (_, c) in self.counters.lock().expect("registry poisoned").iter() {
+            c.reset();
+        }
+        for (_, g) in self.gauges.lock().expect("registry poisoned").iter() {
+            g.reset();
+        }
+        for (_, h) in self.histograms.lock().expect("registry poisoned").iter() {
+            h.reset();
+        }
+        self.traces.lock().expect("registry poisoned").clear();
+    }
+}
+
+/// The global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Resolves (once per call site) and returns the named counter.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __SLOT: ::std::sync::OnceLock<&'static $crate::metrics::Counter> =
+            ::std::sync::OnceLock::new();
+        *__SLOT.get_or_init(|| $crate::registry().counter($name))
+    }};
+}
+
+/// Resolves (once per call site) and returns the named gauge.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static __SLOT: ::std::sync::OnceLock<&'static $crate::metrics::Gauge> =
+            ::std::sync::OnceLock::new();
+        *__SLOT.get_or_init(|| $crate::registry().gauge($name))
+    }};
+}
+
+/// Resolves (once per call site) and returns the named histogram.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __SLOT: ::std::sync::OnceLock<&'static $crate::metrics::Histogram> =
+            ::std::sync::OnceLock::new();
+        *__SLOT.get_or_init(|| $crate::registry().histogram($name))
+    }};
+}
+
+/// Opens an RAII span timer: elapsed nanoseconds are recorded into the
+/// histogram of the same name when the guard drops.
+///
+/// ```
+/// let _g = dbcast_obs::span!("alloc.drp.split_scan");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name, $crate::histogram!($name))
+    };
+}
+
+/// Serializes tests that flip the global runtime switch so parallel
+/// test threads cannot observe each other's toggles.
+#[cfg(test)]
+pub(crate) static TEST_SWITCH_LOCK: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_interns_by_name() {
+        let a = registry().counter("lib.test.intern");
+        let b = registry().counter("lib.test.intern");
+        assert!(std::ptr::eq(a, b));
+        let c = registry().counter("lib.test.other");
+        assert!(!std::ptr::eq(a, c));
+    }
+
+    #[test]
+    fn macros_cache_per_call_site() {
+        let a = counter!("lib.test.macro");
+        let b = counter!("lib.test.macro");
+        assert!(std::ptr::eq(a, b));
+        let _ = gauge!("lib.test.gauge");
+        let _ = histogram!("lib.test.hist");
+    }
+
+    #[test]
+    fn enabled_tracks_feature_and_switch() {
+        let _guard = TEST_SWITCH_LOCK.lock().unwrap();
+        if cfg!(feature = "enabled") {
+            set_enabled(true);
+            assert!(enabled());
+            set_enabled(false);
+            assert!(!enabled());
+            set_enabled(true);
+        } else {
+            set_enabled(true);
+            assert!(!enabled());
+        }
+    }
+}

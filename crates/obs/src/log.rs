@@ -1,0 +1,109 @@
+//! A tiny leveled logger for the CLI's `--log-level` flag. Messages
+//! go to stderr so they never corrupt JSON or CSV written to stdout.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+    Trace = 5,
+}
+
+impl Level {
+    /// Parses a case-insensitive level name.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        };
+        write!(f, "{s}")
+    }
+}
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+
+/// Sets the most verbose level that will be printed.
+pub fn set_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current verbosity threshold.
+pub fn level() -> Level {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        1 => Level::Error,
+        2 => Level::Warn,
+        3 => Level::Info,
+        4 => Level::Debug,
+        _ => Level::Trace,
+    }
+}
+
+/// Whether a message at `l` would currently be printed.
+pub fn enabled_at(l: Level) -> bool {
+    l as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Prints `args` to stderr when `l` passes the threshold. Prefer the
+/// [`crate::obs_log!`] macro, which skips formatting entirely for
+/// filtered-out messages.
+pub fn log(l: Level, args: fmt::Arguments<'_>) {
+    if enabled_at(l) {
+        eprintln!("[{l:5}] {args}");
+    }
+}
+
+/// Logs a formatted message at the given level:
+/// `obs_log!(Level::Info, "built {} channels", k)`.
+#[macro_export]
+macro_rules! obs_log {
+    ($level:expr, $($arg:tt)+) => {
+        if $crate::log::enabled_at($level) {
+            $crate::log::log($level, format_args!($($arg)+));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_names() {
+        assert_eq!(Level::parse("info"), Some(Level::Info));
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+
+    #[test]
+    fn threshold_ordering() {
+        assert!(Level::Error < Level::Trace);
+        set_level(Level::Info);
+        assert!(enabled_at(Level::Error));
+        assert!(enabled_at(Level::Info));
+        assert!(!enabled_at(Level::Debug));
+        set_level(Level::Warn);
+    }
+}

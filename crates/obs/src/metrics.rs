@@ -1,0 +1,373 @@
+//! Lock-free metric primitives: monotonic counters, gauges and
+//! log2-bucketed histograms, all single-atomic on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub(crate) fn new() -> Self {
+        Counter { value: AtomicU64::new(0) }
+    }
+
+    /// Adds one (when recording is enabled).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (when recording is enabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.force_add(n);
+        }
+    }
+
+    /// Adds `n` unconditionally, bypassing the enable switch. Exists
+    /// so the arithmetic stays testable with the feature off.
+    #[inline]
+    pub fn force_add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins floating-point level (queue depth, cost, …).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    pub(crate) fn new() -> Self {
+        Gauge { bits: AtomicU64::new(0f64.to_bits()) }
+    }
+
+    /// Stores `v` (when recording is enabled).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.force_set(v);
+        }
+    }
+
+    /// Stores `v` unconditionally.
+    #[inline]
+    pub fn force_set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn reset(&self) {
+        self.force_set(0.0);
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per power of
+/// two up to `u64::MAX`.
+pub const BUCKETS: usize = 65;
+
+/// A histogram over `u64` observations (nanoseconds, queue depths, …)
+/// with power-of-two buckets: bucket `0` holds the value `0`, bucket
+/// `i >= 1` holds values in `[2^(i-1), 2^i - 1]`.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Index of the bucket holding `v`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Largest value stored in bucket `i` (inclusive upper bound).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation (when recording is enabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if crate::enabled() {
+            self.force_record(v);
+        }
+    }
+
+    /// Records one observation unconditionally, bypassing the enable
+    /// switch. Exists so the bucket math stays testable with the
+    /// feature off.
+    pub fn force_record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations (wraps above `u64::MAX` totals).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum() as f64 / n as f64)
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.min.load(Ordering::Relaxed))
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.max.load(Ordering::Relaxed))
+    }
+
+    /// Upper-bound estimate of the `q`-th percentile (`0..=100`): the
+    /// inclusive upper bound of the first bucket whose cumulative
+    /// count reaches `q%` of observations, clamped to the observed
+    /// min/max. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 100]`.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&q), "percentile out of range: {q}");
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let target = ((q / 100.0) * n as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for i in 0..BUCKETS {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            if cumulative >= target {
+                let ub = bucket_upper_bound(i);
+                return Some(ub.clamp(self.min()?, self.max()?));
+            }
+        }
+        self.max()
+    }
+
+    /// Copies the non-empty buckets as `(upper_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        (0..BUCKETS)
+            .filter_map(|i| {
+                let c = self.buckets[i].load(Ordering::Relaxed);
+                (c > 0).then(|| (bucket_upper_bound(i), c))
+            })
+            .collect()
+    }
+
+    /// Freezes the current state into a plain-data snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            mean: self.mean().unwrap_or(0.0),
+            min: self.min().unwrap_or(0),
+            max: self.max().unwrap_or(0),
+            p50: self.percentile(50.0).unwrap_or(0),
+            p90: self.percentile(90.0).unwrap_or(0),
+            p95: self.percentile(95.0).unwrap_or(0),
+            p99: self.percentile(99.0).unwrap_or(0),
+            buckets: self.nonzero_buckets(),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-data copy of a [`Histogram`], used by snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub mean: f64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p95: u64,
+    pub p99: u64,
+    /// Non-empty buckets as `(inclusive upper bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 1..64 {
+            // The upper bound of bucket i is the last value mapping to i.
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i);
+            assert_eq!(bucket_index(bucket_upper_bound(i) + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn histogram_aggregates_are_exact() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 5, 100, 1000] {
+            h.force_record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1111);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert!((h.mean().unwrap() - 1111.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_walk_buckets_monotonically() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.force_record(v);
+        }
+        let p50 = h.percentile(50.0).unwrap();
+        let p90 = h.percentile(90.0).unwrap();
+        let p95 = h.percentile(95.0).unwrap();
+        let p100 = h.percentile(100.0).unwrap();
+        assert!(p50 <= p90 && p90 <= p95 && p95 <= p100);
+        assert_eq!(p100, 1000);
+        // p50 of 1..=1000 lands in the bucket holding 500, whose upper
+        // bound is 511.
+        assert_eq!(p50, 511);
+        // Estimates never leave the observed range.
+        assert!(h.percentile(0.0).unwrap() >= 1);
+    }
+
+    #[test]
+    fn empty_histogram_yields_none() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn counter_is_atomic_under_contention() {
+        let c = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.force_add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn histogram_count_is_atomic_under_contention() {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.force_record(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+        let bucket_total: u64 = h.nonzero_buckets().iter().map(|&(_, c)| c).sum();
+        assert_eq!(bucket_total, 40_000);
+    }
+
+    #[test]
+    fn gauge_round_trips_floats() {
+        let g = Gauge::new();
+        g.force_set(135.59999999999997);
+        assert_eq!(g.get(), 135.59999999999997);
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        // Under default features `crate::enabled()` is const-false;
+        // with the feature on we flip the runtime switch instead.
+        let _guard = crate::TEST_SWITCH_LOCK.lock().unwrap();
+        crate::set_enabled(false);
+        let c = Counter::new();
+        c.inc();
+        c.add(5);
+        let h = Histogram::new();
+        h.record(42);
+        let g = Gauge::new();
+        g.set(7.0);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(g.get(), 0.0);
+        crate::set_enabled(true);
+    }
+}

@@ -67,11 +67,7 @@ fn order(a: usize, b: usize) -> (usize, usize) {
 /// Returns per-channel ordered groups, suitable for
 /// [`BroadcastProgram::from_overlapping_groups`](dbcast_model::BroadcastProgram::from_overlapping_groups).
 pub fn affinity_order(alloc: &Allocation, matrix: &CoAccessMatrix) -> Vec<Vec<ItemId>> {
-    alloc
-        .groups()
-        .into_iter()
-        .map(|group| chain_group(group, matrix))
-        .collect()
+    alloc.groups().into_iter().map(|group| chain_group(group, matrix)).collect()
 }
 
 fn chain_group(group: Vec<ItemId>, matrix: &CoAccessMatrix) -> Vec<ItemId> {
@@ -119,7 +115,8 @@ mod tests {
     #[test]
     fn matrix_accumulates_pair_weights() {
         let db = db(6);
-        let qw = QueryWorkloadBuilder::new(&db).queries(1).max_size(1).arrivals(0, 1.0).build();
+        let qw =
+            QueryWorkloadBuilder::new(&db).queries(1).max_size(1).arrivals(0, 1.0).build();
         // Hand-build a workload through serde to control pairs precisely?
         // Simpler: exercise from_workload on the generated one and check
         // symmetry + non-negativity.

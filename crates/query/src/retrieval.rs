@@ -210,9 +210,8 @@ mod tests {
             let a = (state >> 33) as usize % 40;
             let b = (state >> 17) as usize % 40;
             let c = (state >> 5) as usize % 40;
-            let q = Query::new(
-                [a, b, c].iter().map(|&i| ItemId::new(i)).collect::<Vec<_>>(),
-            );
+            let q =
+                Query::new([a, b, c].iter().map(|&i| ItemId::new(i)).collect::<Vec<_>>());
             let t = trial as f64 * 0.31;
             let r = retrieve(&p, &q, t).unwrap();
             let lb = QueryRetrieval::lower_bound(&p, &q, t);

@@ -180,11 +180,8 @@ impl<'a> QueryWorkloadBuilder<'a> {
         // Zipf(1) weights over query rank.
         let weights: Vec<f64> = (1..=self.queries).map(|r| 1.0 / r as f64).collect();
         let total: f64 = weights.iter().sum();
-        let weighted: Vec<(Query, f64)> = queries
-            .into_iter()
-            .zip(weights)
-            .map(|(q, w)| (q, w / total))
-            .collect();
+        let weighted: Vec<(Query, f64)> =
+            queries.into_iter().zip(weights).map(|(q, w)| (q, w / total)).collect();
 
         // Arrivals: Poisson instants, query index by weight.
         let mut qcdf = Vec::with_capacity(self.queries);

@@ -1,8 +1,6 @@
 //! The replicated allocation type.
 
-use dbcast_model::{
-    Allocation, BroadcastProgram, ChannelId, Database, ItemId, ModelError,
-};
+use dbcast_model::{Allocation, BroadcastProgram, ChannelId, Database, ItemId, ModelError};
 use serde::{Deserialize, Serialize};
 
 /// A disjoint base allocation plus extra `(item, channel)` replicas.
@@ -92,12 +90,7 @@ impl ReplicatedAllocation {
     /// [`ModelError::ItemOutOfRange`] for unknown items.
     pub fn channels_of(&self, item: ItemId) -> Result<Vec<ChannelId>, ModelError> {
         let mut out = vec![self.base.channel_of(item)?];
-        out.extend(
-            self.replicas
-                .iter()
-                .filter(|(i, _)| *i == item)
-                .map(|&(_, c)| c),
-        );
+        out.extend(self.replicas.iter().filter(|(i, _)| *i == item).map(|&(_, c)| c));
         Ok(out)
     }
 
@@ -113,12 +106,8 @@ impl ReplicatedAllocation {
 
     /// Aggregate size of each channel's cycle, including replicas.
     pub fn cycle_sizes(&self, db: &Database) -> Vec<f64> {
-        let mut sizes: Vec<f64> = self
-            .base
-            .all_channel_stats()
-            .iter()
-            .map(|s| s.size)
-            .collect();
+        let mut sizes: Vec<f64> =
+            self.base.all_channel_stats().iter().map(|s| s.size).collect();
         for &(item, ch) in &self.replicas {
             sizes[ch.index()] += db.items()[item.index()].size();
         }

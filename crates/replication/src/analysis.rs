@@ -82,10 +82,8 @@ pub fn approx_waiting_time(
     let mut total = 0.0;
     for d in db.iter() {
         let channels = repl.channels_of(d.id())?;
-        let cycles: Vec<f64> = channels
-            .iter()
-            .map(|c| cycle_sizes[c.index()] / bandwidth)
-            .collect();
+        let cycles: Vec<f64> =
+            channels.iter().map(|c| cycle_sizes[c.index()] / bandwidth).collect();
         let probe = expected_min_probe(&cycles);
         total += d.frequency() * (probe + d.size() / bandwidth);
     }
@@ -139,8 +137,8 @@ mod tests {
     #[test]
     fn no_replicas_matches_eq2_exactly() {
         let db = WorkloadBuilder::new(30).seed(8).build().unwrap();
-        let base = Allocation::from_assignment(&db, 3, (0..30).map(|i| i % 3).collect())
-            .unwrap();
+        let base =
+            Allocation::from_assignment(&db, 3, (0..30).map(|i| i % 3).collect()).unwrap();
         let repl = ReplicatedAllocation::new(base.clone());
         let approx = approx_waiting_time(&db, &repl, 10.0).unwrap();
         let exact = average_waiting_time(&db, &base, 10.0).unwrap().total();
@@ -152,15 +150,13 @@ mod tests {
         // Replicating a popular item helps it but lengthens the target
         // channel's cycle; the approximation captures both directions.
         let db = WorkloadBuilder::new(20).skewness(1.2).seed(9).build().unwrap();
-        let base = Allocation::from_assignment(&db, 2, (0..20).map(|i| i % 2).collect())
-            .unwrap();
+        let base =
+            Allocation::from_assignment(&db, 2, (0..20).map(|i| i % 2).collect()).unwrap();
         let plain = ReplicatedAllocation::new(base.clone());
         let w_plain = approx_waiting_time(&db, &plain, 10.0).unwrap();
 
         let mut with_hot = ReplicatedAllocation::new(base.clone());
-        with_hot
-            .add_replica(&db, ItemId::new(0), ChannelId::new(1))
-            .unwrap();
+        with_hot.add_replica(&db, ItemId::new(0), ChannelId::new(1)).unwrap();
         let w_hot = approx_waiting_time(&db, &with_hot, 10.0).unwrap();
         // Either direction is possible depending on the profile, but the
         // value must change and stay positive.

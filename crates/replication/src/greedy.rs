@@ -82,11 +82,8 @@ impl GreedyReplicator {
         let original_cycles = repl.cycle_sizes(db);
         let k = repl.base().channels();
 
-        let hot: Vec<ItemId> = db
-            .ids_by_frequency_desc()
-            .into_iter()
-            .take(self.hot_pool)
-            .collect();
+        let hot: Vec<ItemId> =
+            db.ids_by_frequency_desc().into_iter().take(self.hot_pool).collect();
 
         let mut current = initial_waiting;
         let mut accepted = Vec::new();
@@ -103,9 +100,7 @@ impl GreedyReplicator {
                     }
                     // Budget check: target cycle must stay within the
                     // allowed growth of its original size.
-                    if cycles[ch] + z
-                        > original_cycles[ch] * (1.0 + self.budget_fraction)
-                    {
+                    if cycles[ch] + z > original_cycles[ch] * (1.0 + self.budget_fraction) {
                         continue;
                     }
                     let mut candidate = repl.clone();
@@ -127,7 +122,12 @@ impl GreedyReplicator {
             }
         }
         let final_waiting = approx_waiting_time(db, &repl, bandwidth)?;
-        Ok(ReplicationOutcome { allocation: repl, initial_waiting, final_waiting, accepted })
+        Ok(ReplicationOutcome {
+            allocation: repl,
+            initial_waiting,
+            final_waiting,
+            accepted,
+        })
     }
 }
 
@@ -162,8 +162,7 @@ mod tests {
     #[test]
     fn budget_is_respected() {
         let (db, alloc) = base(1);
-        let original: Vec<f64> =
-            alloc.all_channel_stats().iter().map(|s| s.size).collect();
+        let original: Vec<f64> = alloc.all_channel_stats().iter().map(|s| s.size).collect();
         let rep = GreedyReplicator { budget_fraction: 0.10, ..GreedyReplicator::default() };
         let out = rep.replicate(&db, alloc, 10.0).unwrap();
         let grown = out.allocation.cycle_sizes(&db);
@@ -201,16 +200,8 @@ mod tests {
         let trace = TraceBuilder::new(&db).requests(30_000).seed(4).build().unwrap();
         let base_program = BroadcastProgram::new(&db, &alloc, 10.0).unwrap();
         let repl_program = out.allocation.to_program(&db, 10.0).unwrap();
-        let w_base = Simulation::new(&base_program, &trace)
-            .run()
-            .unwrap()
-            .waiting()
-            .mean();
-        let w_repl = Simulation::new(&repl_program, &trace)
-            .run()
-            .unwrap()
-            .waiting()
-            .mean();
+        let w_base = Simulation::new(&base_program, &trace).run().unwrap().waiting().mean();
+        let w_repl = Simulation::new(&repl_program, &trace).run().unwrap().waiting().mean();
         assert!(
             w_repl < w_base,
             "simulated replicated waiting {w_repl} should beat base {w_base}"

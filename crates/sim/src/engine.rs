@@ -25,10 +25,9 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::ItemNotBroadcast { item, request } => write!(
-                f,
-                "request {request} asks for {item}, which no channel broadcasts"
-            ),
+            SimError::ItemNotBroadcast { item, request } => {
+                write!(f, "request {request} asks for {item}, which no channel broadcasts")
+            }
         }
     }
 }
@@ -163,6 +162,7 @@ impl<'a> Simulation<'a> {
     /// [`SimError::ItemNotBroadcast`] if the trace requests an item that
     /// the program does not carry.
     pub fn run(&self) -> Result<SimReport, SimError> {
+        let _span = dbcast_obs::span!("sim.engine.run");
         let bandwidth = self.program.bandwidth();
         let mut queue = EventQueue::new();
         for (i, r) in self.trace.iter().enumerate() {
@@ -183,12 +183,14 @@ impl<'a> Simulation<'a> {
         let mut waiting = SummaryStats::new();
         let mut probe = SummaryStats::new();
         let mut download = SummaryStats::new();
-        let mut channel_loads =
-            vec![ChannelLoad::default(); self.program.channels().len()];
+        let mut channel_loads = vec![ChannelLoad::default(); self.program.channels().len()];
         let mut events_processed = 0u64;
 
         while let Some((now, event)) = queue.pop() {
             events_processed += 1;
+            if dbcast_obs::enabled() {
+                dbcast_obs::histogram!("sim.engine.queue_depth").record(queue.len() as u64);
+            }
             match event {
                 Event::Arrival { request, item } => {
                     // With replication the client tunes to whichever
@@ -197,20 +199,17 @@ impl<'a> Simulation<'a> {
                         .program
                         .best_start(item, now)
                         .ok_or(SimError::ItemNotBroadcast { item, request })?;
-                    pending[request] = Some(Pending {
-                        item,
-                        channel,
-                        arrival: now,
-                        slot_start,
-                        size,
-                    });
+                    pending[request] =
+                        Some(Pending { item, channel, arrival: now, slot_start, size });
                     queue.schedule(slot_start, Event::SlotStart { request, channel });
                 }
                 Event::SlotStart { request, channel } => {
                     let p = pending[request].expect("slot start follows arrival");
                     debug_assert_eq!(p.channel, channel);
-                    queue
-                        .schedule(now + p.size / bandwidth, Event::DownloadComplete { request });
+                    queue.schedule(
+                        now + p.size / bandwidth,
+                        Event::DownloadComplete { request },
+                    );
                 }
                 Event::DownloadComplete { request } => {
                     let p = pending[request].take().expect("completion follows arrival");
@@ -230,6 +229,16 @@ impl<'a> Simulation<'a> {
                     records[request] = Some(record);
                 }
             }
+        }
+
+        dbcast_obs::counter!("sim.engine.events").add(events_processed);
+        dbcast_obs::counter!("sim.engine.requests").add(self.trace.len() as u64);
+        if dbcast_obs::enabled() {
+            // The report's own SummaryStats doubles as the telemetry
+            // source — no second accumulation pass.
+            dbcast_obs::gauge!("sim.engine.mean_waiting").set(waiting.mean());
+            dbcast_obs::gauge!("sim.engine.mean_probe").set(probe.mean());
+            dbcast_obs::gauge!("sim.engine.mean_download").set(download.mean());
         }
 
         Ok(SimReport {
@@ -268,9 +277,11 @@ mod tests {
         let (_, program) = tiny_program();
         // Cycle: item0 at [0, 0.2), item1 at [0.2, 0.5), repeating.
         // A request for item1 at t = 0.3 waits until 0.7, downloads 0.3s.
-        let trace = dbcast_workload::RequestTrace::from_requests(vec![
-            dbcast_workload::Request { time: 0.3, item: ItemId::new(1) },
-        ]);
+        let trace =
+            dbcast_workload::RequestTrace::from_requests(vec![dbcast_workload::Request {
+                time: 0.3,
+                item: ItemId::new(1),
+            }]);
         let report = Simulation::new(&program, &trace).run().unwrap();
         assert_eq!(report.completed(), 1);
         let r = &report.records()[0];

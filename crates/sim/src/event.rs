@@ -54,10 +54,7 @@ impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for a min-heap on (time, seq); seq gives FIFO among
         // simultaneous events, keeping runs fully deterministic.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

@@ -172,8 +172,7 @@ mod tests {
     #[test]
     fn bad_bandwidth_is_reported() {
         let db = WorkloadBuilder::new(5).build().unwrap();
-        let alloc =
-            dbcast_model::Allocation::from_assignment(&db, 1, vec![0; 5]).unwrap();
+        let alloc = dbcast_model::Allocation::from_assignment(&db, 1, vec![0; 5]).unwrap();
         let trace = TraceBuilder::new(&db).requests(10).build().unwrap();
         assert!(matches!(
             validate_against_model(&db, &alloc, &trace, 0.0),

@@ -7,11 +7,7 @@ use dbcast_workload::TraceBuilder;
 use proptest::prelude::*;
 
 fn db_and_program() -> impl Strategy<Value = (Database, BroadcastProgram)> {
-    (
-        prop::collection::vec((0.01f64..10.0, 0.1f64..50.0), 1..25),
-        1usize..4,
-        1.0f64..50.0,
-    )
+    (prop::collection::vec((0.01f64..10.0, 0.1f64..50.0), 1..25), 1usize..4, 1.0f64..50.0)
         .prop_map(|(pairs, k, bandwidth)| {
             let db = Database::try_from_specs(
                 pairs.into_iter().map(|(f, z)| ItemSpec::new(f, z)),

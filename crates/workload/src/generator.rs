@@ -41,12 +41,7 @@ impl WorkloadBuilder {
     /// Starts a builder for `items` data items with the paper's default
     /// parameters (`θ = 0.8`, diversity `Φ = 2`, seed 0).
     pub fn new(items: usize) -> Self {
-        WorkloadBuilder {
-            items,
-            theta: 0.8,
-            sizes: SizeDistribution::default(),
-            seed: 0,
-        }
+        WorkloadBuilder { items, theta: 0.8, sizes: SizeDistribution::default(), seed: 0 }
     }
 
     /// Sets the Zipf skewness parameter `θ` (paper range `0.4..=1.6`).

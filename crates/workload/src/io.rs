@@ -17,7 +17,10 @@ use crate::error::WorkloadError;
 ///
 /// [`WorkloadError::Json`] on serialization failure, [`WorkloadError::Io`]
 /// on write failure.
-pub fn save_database_to_writer<W: Write>(db: &Database, writer: W) -> Result<(), WorkloadError> {
+pub fn save_database_to_writer<W: Write>(
+    db: &Database,
+    writer: W,
+) -> Result<(), WorkloadError> {
     serde_json::to_writer_pretty(writer, db)?;
     Ok(())
 }

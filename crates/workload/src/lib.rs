@@ -39,7 +39,9 @@ mod zipf;
 
 pub use error::WorkloadError;
 pub use generator::WorkloadBuilder;
-pub use io::{load_database, load_database_from_reader, save_database, save_database_to_writer};
+pub use io::{
+    load_database, load_database_from_reader, save_database, save_database_to_writer,
+};
 pub use sizes::SizeDistribution;
 pub use trace::{Request, RequestTrace, TraceBuilder};
 pub use zipf::Zipf;

@@ -49,7 +49,8 @@ pub fn table2_profile() -> Database {
 /// The paper's benefit-ratio order of Table 2 items, as printed in
 /// Table 3(a): `d9 d2 d3 d6 d5 d15 d1 d12 d10 d13 d4 d8 d14 d7 d11`
 /// (1-based paper labels).
-pub const TABLE3_BR_ORDER: [usize; 15] = [9, 2, 3, 6, 5, 15, 1, 12, 10, 13, 4, 8, 14, 7, 11];
+pub const TABLE3_BR_ORDER: [usize; 15] =
+    [9, 2, 3, 6, 5, 15, 1, 12, 10, 13, 4, 8, 14, 7, 11];
 
 #[cfg(test)]
 mod tests {

@@ -115,7 +115,8 @@ impl SizeDistribution {
         match *self {
             SizeDistribution::Fixed { size } => size,
             SizeDistribution::Diversity { phi_max } => {
-                let phi: f64 = if phi_max == 0.0 { 0.0 } else { rng.gen::<f64>() * phi_max };
+                let phi: f64 =
+                    if phi_max == 0.0 { 0.0 } else { rng.gen::<f64>() * phi_max };
                 10f64.powf(phi)
             }
             SizeDistribution::Uniform { lo, hi } => {
@@ -166,10 +167,16 @@ mod tests {
         assert!(SizeDistribution::Diversity { phi_max: -1.0 }.validate().is_err());
         assert!(SizeDistribution::Uniform { lo: 2.0, hi: 1.0 }.validate().is_err());
         assert!(SizeDistribution::Uniform { lo: 0.0, hi: 1.0 }.validate().is_err());
-        assert!(SizeDistribution::LogNormal { mu: f64::NAN, sigma: 1.0 }.validate().is_err());
+        assert!(SizeDistribution::LogNormal { mu: f64::NAN, sigma: 1.0 }
+            .validate()
+            .is_err());
         assert!(SizeDistribution::LogNormal { mu: 0.0, sigma: -1.0 }.validate().is_err());
-        assert!(SizeDistribution::Pareto { lo: 1.0, hi: 1.0, alpha: 1.0 }.validate().is_err());
-        assert!(SizeDistribution::Pareto { lo: 1.0, hi: 9.0, alpha: 0.0 }.validate().is_err());
+        assert!(SizeDistribution::Pareto { lo: 1.0, hi: 1.0, alpha: 1.0 }
+            .validate()
+            .is_err());
+        assert!(SizeDistribution::Pareto { lo: 1.0, hi: 9.0, alpha: 0.0 }
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -203,12 +203,8 @@ mod tests {
         let db = db();
         let rate = 4.0;
         let n = 50_000;
-        let trace = TraceBuilder::new(&db)
-            .arrival_rate(rate)
-            .requests(n)
-            .seed(3)
-            .build()
-            .unwrap();
+        let trace =
+            TraceBuilder::new(&db).arrival_rate(rate).requests(n).seed(3).build().unwrap();
         let span = trace.requests().last().unwrap().time;
         let observed_rate = n as f64 / span;
         assert!((observed_rate - rate).abs() / rate < 0.05);

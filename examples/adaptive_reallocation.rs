@@ -10,7 +10,9 @@
 //! Run with: `cargo run --release --example adaptive_reallocation`
 
 use dbcast::alloc::DrpCds;
-use dbcast::model::{average_waiting_time, Allocation, ChannelAllocator, Database, ItemSpec};
+use dbcast::model::{
+    average_waiting_time, Allocation, ChannelAllocator, Database, ItemSpec,
+};
 use dbcast::workload::{TraceBuilder, WorkloadBuilder};
 
 /// Re-estimates a database from observed request counts, keeping sizes.
@@ -55,10 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         truth = drift(&truth, 15);
 
         // Serve an epoch of requests with the *old* program and observe.
-        let trace = TraceBuilder::new(&truth)
-            .requests(20_000)
-            .seed(100 + epoch as u64)
-            .build()?;
+        let trace =
+            TraceBuilder::new(&truth).requests(20_000).seed(100 + epoch as u64).build()?;
         let counts = trace.item_counts(truth.len());
 
         // Waiting time the stale program delivers under the new truth:

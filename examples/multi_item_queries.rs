@@ -37,10 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sizes.iter().sum::<usize>() as f64 / sizes.len() as f64
     );
 
-    println!(
-        "{:<34} {:>14} {:>16}",
-        "program", "mean query (s)", "excess over LB"
-    );
+    println!("{:<34} {:>14} {:>16}", "program", "mean query (s)", "excess over LB");
     for (name, alloc) in [
         ("FLAT", Flat::new().allocate(&db, k)?),
         ("DRP-CDS", DrpCds::new().allocate(&db, k)?),

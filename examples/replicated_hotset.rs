@@ -31,7 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b = 10.0;
 
     // The frozen legacy layout: round-robin.
-    let legacy = Allocation::from_assignment(&db, k, (0..db.len()).map(|i| i % k).collect())?;
+    let legacy =
+        Allocation::from_assignment(&db, k, (0..db.len()).map(|i| i % k).collect())?;
     let w_legacy = simulate(&BroadcastProgram::new(&db, &legacy, b)?, &trace);
 
     // Option A (not allowed by ops): full reallocation.

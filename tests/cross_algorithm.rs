@@ -20,9 +20,7 @@ fn workloads(n: usize, phi: f64, theta: f64, seeds: std::ops::Range<u64>) -> Vec
 }
 
 fn mean_cost(algo: &dyn ChannelAllocator, dbs: &[Database], k: usize) -> f64 {
-    dbs.iter()
-        .map(|db| algo.allocate(db, k).unwrap().total_cost())
-        .sum::<f64>()
+    dbs.iter().map(|db| algo.allocate(db, k).unwrap().total_cost()).sum::<f64>()
         / dbs.len() as f64
 }
 
@@ -63,10 +61,7 @@ fn drpcds_is_close_to_exact_optimum() {
         total_gap += heuristic / optimum - 1.0;
     }
     let mean_gap = total_gap / trials as f64;
-    assert!(
-        mean_gap < 0.05,
-        "mean DRP-CDS optimality gap {mean_gap:.4} exceeds 5%"
-    );
+    assert!(mean_gap < 0.05, "mean DRP-CDS optimality gap {mean_gap:.4} exceeds 5%");
 }
 
 #[test]
@@ -116,11 +111,8 @@ fn gopt_tracks_the_best_heuristic() {
 fn increasing_channels_reduces_cost_for_every_algorithm() {
     // Figure 2's x-axis effect.
     let db = WorkloadBuilder::new(90).seed(3).build().unwrap();
-    let algos: Vec<Box<dyn ChannelAllocator>> = vec![
-        Box::new(Vfk::new()),
-        Box::new(Drp::new()),
-        Box::new(DrpCds::new()),
-    ];
+    let algos: Vec<Box<dyn ChannelAllocator>> =
+        vec![Box::new(Vfk::new()), Box::new(Drp::new()), Box::new(DrpCds::new())];
     for algo in &algos {
         let mut prev = f64::INFINITY;
         for k in [4, 6, 8, 10] {

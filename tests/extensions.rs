@@ -79,11 +79,10 @@ fn replication_recovers_much_of_the_reallocation_gain() {
     let legacy =
         Allocation::from_assignment(&db, k, (0..60).map(|i| i % k).collect()).unwrap();
     let ideal = DrpCds::new().allocate(&db, k).unwrap();
-    let replicated = GreedyReplicator::new()
-        .replicate(&db, legacy.clone(), 10.0)
-        .unwrap();
+    let replicated = GreedyReplicator::new().replicate(&db, legacy.clone(), 10.0).unwrap();
 
-    let sim = |p: &BroadcastProgram| Simulation::new(p, &trace).run().unwrap().waiting().mean();
+    let sim =
+        |p: &BroadcastProgram| Simulation::new(p, &trace).run().unwrap().waiting().mean();
     let w_legacy = sim(&BroadcastProgram::new(&db, &legacy, 10.0).unwrap());
     let w_ideal = sim(&BroadcastProgram::new(&db, &ideal, 10.0).unwrap());
     let w_repl = sim(&replicated.allocation.to_program(&db, 10.0).unwrap());
@@ -103,9 +102,7 @@ fn replication_approximation_is_exact_without_replicas_everywhere() {
         let alloc = DrpCds::new().allocate(&db, 4).unwrap();
         let plain = ReplicatedAllocation::new(alloc.clone());
         let approx = approx_waiting_time(&db, &plain, 10.0).unwrap();
-        let exact = dbcast::model::average_waiting_time(&db, &alloc, 10.0)
-            .unwrap()
-            .total();
+        let exact = dbcast::model::average_waiting_time(&db, &alloc, 10.0).unwrap().total();
         assert!((approx - exact).abs() < 1e-6);
     }
 }
@@ -168,7 +165,8 @@ fn replicated_programs_simulate_with_all_engine_invariants() {
     // Cross-cutting: the event engine handles overlapping programs
     // (3 events per request, monotone clock, all requests complete).
     let db = WorkloadBuilder::new(30).skewness(1.0).seed(49).build().unwrap();
-    let base = Allocation::from_assignment(&db, 3, (0..30).map(|i| i % 3).collect()).unwrap();
+    let base =
+        Allocation::from_assignment(&db, 3, (0..30).map(|i| i % 3).collect()).unwrap();
     let out = GreedyReplicator::new().replicate(&db, base, 10.0).unwrap();
     let program = out.allocation.to_program(&db, 10.0).unwrap();
     let trace = TraceBuilder::new(&db).requests(5_000).seed(50).build().unwrap();

@@ -101,13 +101,8 @@ fn table4_final_grouping_matches_paper() {
         v.sort_unstable();
         v
     };
-    let expected: [&[usize]; 5] = [
-        &[2, 3, 6, 9],
-        &[5, 10, 12, 14, 15],
-        &[1],
-        &[4, 8, 13],
-        &[7, 11],
-    ];
+    let expected: [&[usize]; 5] =
+        [&[2, 3, 6, 9], &[5, 10, 12, 14, 15], &[1], &[4, 8, 13], &[7, 11]];
     for (group, want) in groups.iter().zip(expected) {
         assert_eq!(as_labels(group), want.to_vec());
     }

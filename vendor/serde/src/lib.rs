@@ -1,0 +1,460 @@
+//! Offline stand-in for `serde`, written for this repository.
+//!
+//! The build environment has no network access and no crates.io cache,
+//! so the workspace vendors the handful of external crates it relies
+//! on. This crate keeps serde's *spelling* — `Serialize`,
+//! `Deserialize`, `#[derive(Serialize, Deserialize)]` — while using a
+//! much simpler data model: every value serializes into a JSON-like
+//! [`Value`] tree, and deserializes back out of one. The sibling
+//! `serde_json` shim renders and parses that tree.
+//!
+//! The subset implemented is exactly what this workspace uses:
+//! structs with named fields, newtype structs, tuple structs, enums
+//! with unit/newtype/struct variants (externally tagged, like real
+//! serde), primitives, `String`, `Vec<T>`, `Option<T>`, tuples and
+//! `#[serde(transparent)]`.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// The serialization data model: a JSON-shaped value tree.
+///
+/// Maps preserve insertion order so derived structs round-trip their
+/// field order and rendered JSON is stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the encoding of `Option::None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Map lookup by key (`None` for non-maps and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(x) => Some(x as f64),
+            Value::U64(x) => Some(x as f64),
+            Value::F64(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64` (exact only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(x) => Some(x),
+            Value::I64(x) if x >= 0 => Some(x as u64),
+            Value::F64(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => {
+                Some(x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64` (exact only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(x) => Some(x),
+            Value::U64(x) if x <= i64::MAX as u64 => Some(x as i64),
+            Value::F64(x) if x.fract() == 0.0 && x.abs() <= i64::MAX as f64 => {
+                Some(x as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization failure: what was expected, what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// Creates an "expected X while deserializing Y, found Z" error.
+    pub fn expected(what: &str, context: &str, found: &Value) -> Self {
+        DeError { msg: format!("expected {what} for {context}, found {}", found.kind()) }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parses a value tree into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] when the tree has the wrong shape.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let x = v
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected("unsigned integer", stringify!($t), v))?;
+                <$t>::try_from(x).map_err(|_| {
+                    DeError::custom(format!("{x} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let x = v
+                    .as_i64()
+                    .ok_or_else(|| DeError::expected("integer", stringify!($t), v))?;
+                <$t>::try_from(x).map_err(|_| {
+                    DeError::custom(format!("{x} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", "f64", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.as_f64().ok_or_else(|| DeError::expected("number", "f32", v))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", "bool", v))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", "String", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("string", "char", v))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom(format!("expected single char, found {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "Vec", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Keys render through their own serialization; string keys stay
+        // strings, numeric keys render via JSON text.
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = match k.to_value() {
+                        Value::Str(s) => s,
+                        other => crate::to_plain_string(&other),
+                    };
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let seq = v.as_seq().ok_or_else(|| DeError::expected("sequence", "tuple", v))?;
+                let want = [$($idx),+].len();
+                if seq.len() != want {
+                    return Err(DeError::custom(format!(
+                        "expected {want}-tuple, found sequence of {}",
+                        seq.len()
+                    )));
+                }
+                Ok(($($name::from_value(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+/// Renders a scalar value as plain text (used for non-string map keys).
+fn to_plain_string(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::I64(x) => x.to_string(),
+        Value::U64(x) => x.to_string(),
+        Value::F64(x) => x.to_string(),
+        Value::Str(s) => s.clone(),
+        Value::Seq(_) | Value::Map(_) => String::from("<composite>"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn integers_widen_into_f64() {
+        assert_eq!(f64::from_value(&Value::I64(3)).unwrap(), 3.0);
+        assert_eq!(f64::from_value(&Value::U64(4)).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn option_uses_null() {
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::from_value(&Value::U64(5)).unwrap(), Some(5));
+        assert_eq!(None::<u64>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn vec_and_tuple_roundtrip() {
+        let v = vec![(1usize, 2.5f64), (3, 4.5)];
+        let got = Vec::<(usize, f64)>::from_value(&v.to_value()).unwrap();
+        assert_eq!(got, v);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(Vec::<u64>::from_value(&Value::Bool(true)).is_err());
+        assert!(<(u64, u64)>::from_value(&Value::Seq(vec![Value::U64(1)])).is_err());
+    }
+}

@@ -1,0 +1,474 @@
+//! Derive macros for the in-repo `serde` shim.
+//!
+//! Implemented without `syn`/`quote` (the build is fully offline): the
+//! input item is parsed directly from the `proc_macro::TokenStream`,
+//! and the generated impls are emitted as source strings parsed back
+//! into a token stream.
+//!
+//! Supported shapes — exactly what this workspace derives:
+//!
+//! * structs with named fields,
+//! * tuple structs (1-field newtypes serialize as their inner value,
+//!   matching real serde; wider tuples as sequences),
+//! * enums with unit, newtype and struct variants (externally tagged),
+//! * the container attribute `#[serde(transparent)]`.
+//!
+//! Generics are rejected with a compile error; nothing in the
+//! workspace needs them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (shim data model: `to_value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (shim data model: `from_value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: field count.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: variants in declaration order.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+
+    // Attributes: `#` followed by a bracket group.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if attr_is_serde_transparent(g.stream()) {
+                        transparent = true;
+                    }
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+
+    // Visibility: `pub` optionally followed by `(...)`.
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types ({name})");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body for {name}, found {other:?}"),
+        },
+        other => panic!("cannot derive serde impls for `{other} {name}`"),
+    };
+
+    Item { name, transparent, shape }
+}
+
+fn attr_is_serde_transparent(stream: TokenStream) -> bool {
+    // Matches the bracket-group contents `serde(transparent)`.
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(g)] if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "transparent")),
+        _ => false,
+    }
+}
+
+/// Extracts field names from a named-field body, skipping attributes,
+/// visibility and types (a type ends at the next comma outside `<...>`;
+/// parens/brackets/braces are atomic groups in a token stream, so only
+/// angle-bracket depth needs tracking).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes.
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        // Visibility.
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(
+                &tokens[i],
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                i += 1;
+            }
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("expected field name, found {other}"),
+        }
+        i += 1;
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "expected `:` after field name"
+        );
+        i += 1;
+        i = skip_to_toplevel_comma(&tokens, i);
+    }
+    fields
+}
+
+/// Counts fields of a tuple body (top-level commas outside `<...>`).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_to_toplevel_comma(&tokens, i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a trailing comma (and tolerate explicit discriminants,
+        // which the workspace does not use).
+        while i < tokens.len()
+            && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+        {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Advances past one type expression, returning the index just after
+/// its terminating top-level comma (or the end of the tokens).
+fn skip_to_toplevel_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            if item.transparent && fields.len() == 1 {
+                format!("serde::Serialize::to_value(&self.{})", fields[0])
+            } else {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!("serde::Value::Map(vec![{}])", entries.join(", "))
+            }
+        }
+        Shape::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> =
+                (0..*n).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
+            format!("serde::Value::Seq(vec![{}])", elems.join(", "))
+        }
+        Shape::Unit => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => serde::Value::Map(vec![(\"{vn}\"\
+                             .to_string(), serde::Serialize::to_value(x0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Map(vec![(\"{vn}\"\
+                                 .to_string(), serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Value::Map(vec![\
+                                 (\"{vn}\".to_string(), serde::Value::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn field_lookup(field: &str) -> String {
+    format!(
+        "serde::Deserialize::from_value(\
+         __m.iter().find(|__e| __e.0 == \"{field}\")\
+         .map(|__e| &__e.1).unwrap_or(&serde::Value::Null))?"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            if item.transparent && fields.len() == 1 {
+                format!(
+                    "::core::result::Result::Ok({name} {{ {}: \
+                     serde::Deserialize::from_value(__v)? }})",
+                    fields[0]
+                )
+            } else {
+                let inits: Vec<String> =
+                    fields.iter().map(|f| format!("{f}: {}", field_lookup(f))).collect();
+                format!(
+                    "let __m = __v.as_map().ok_or_else(|| \
+                     serde::DeError::expected(\"map\", \"{name}\", __v))?;\n\
+                     ::core::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+        }
+        Shape::Tuple(1) => format!(
+            "::core::result::Result::Ok({name}(serde::Deserialize::from_value(__v)?))"
+        ),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| \
+                 serde::DeError::expected(\"sequence\", \"{name}\", __v))?;\n\
+                 if __s.len() != {n} {{ return ::core::result::Result::Err(\
+                 serde::DeError::custom(format!(\"expected {n} elements for {name}, \
+                 found {{}}\", __s.len()))); }}\n\
+                 ::core::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::Unit => format!("::core::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!("\"{0}\" => ::core::result::Result::Ok({name}::{0}),", v.name)
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                             serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("serde::Deserialize::from_value(&__s[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let __s = __inner.as_seq().ok_or_else(|| \
+                                 serde::DeError::expected(\"sequence\", \"{name}::{vn}\", \
+                                 __inner))?;\n\
+                                 if __s.len() != {n} {{ return \
+                                 ::core::result::Result::Err(serde::DeError::custom(\
+                                 \"wrong tuple arity for {name}::{vn}\".to_string())); }}\n\
+                                 ::core::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}",
+                                elems.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: {}", field_lookup(f)))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let __m = __inner.as_map().ok_or_else(|| \
+                                 serde::DeError::expected(\"map\", \"{name}::{vn}\", \
+                                 __inner))?;\n\
+                                 ::core::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 serde::Value::Str(__s) => match __s.as_str() {{\n\
+                     {}\n\
+                     __other => ::core::result::Result::Err(serde::DeError::custom(\
+                     format!(\"unknown unit variant {{__other:?}} for {name}\"))),\n\
+                 }},\n\
+                 serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                     let (__tag, __inner) = &__entries[0];\n\
+                     match __tag.as_str() {{\n\
+                         {}\n\
+                         __other => ::core::result::Result::Err(serde::DeError::custom(\
+                         format!(\"unknown variant {{__other:?}} for {name}\"))),\n\
+                     }}\n\
+                 }}\n\
+                 __other => ::core::result::Result::Err(serde::DeError::expected(\
+                 \"string or single-entry map\", \"{name}\", __other)),\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &serde::Value) -> \
+             ::core::result::Result<Self, serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}

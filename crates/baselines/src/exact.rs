@@ -13,8 +13,20 @@ use dbcast_model::{
 /// Channel symmetry is broken by allowing an item only into channels
 /// `0..=used+1`.
 ///
-/// Feasible for the sizes used in tests (`N ≤ ~16`); larger instances
-/// are rejected rather than silently burning CPU.
+/// # Instance-size ceiling
+///
+/// The search visits up to `K^N` leaves, so it is only feasible for
+/// small `N`. Databases larger than the configured ceiling
+/// ([`ExactBnB::DEFAULT_MAX_ITEMS`] = 16 by default, adjustable with
+/// [`ExactBnB::with_max_items`]) are rejected *before any work* with the
+/// typed [`AllocError::TooLarge`] — never a panic and never a silent
+/// CPU burn — carrying both the offending item count and the active
+/// limit so callers (the conformance harness, the CLI) can route the
+/// instance to invariant-only checking instead. At the default ceiling
+/// the worst case (`K = 16`) is ~16¹⁶ nodes *before pruning*; in
+/// practice symmetry breaking and the incumbent bound keep `N = 16`
+/// runs in the low milliseconds for the `K ≤ 8` range the paper uses.
+/// Anything beyond ~20 items is impractical at any `K > 2`.
 ///
 /// # Example
 ///
@@ -36,12 +48,17 @@ pub struct ExactBnB {
 
 impl Default for ExactBnB {
     fn default() -> Self {
-        ExactBnB { max_items: 16 }
+        ExactBnB { max_items: ExactBnB::DEFAULT_MAX_ITEMS }
     }
 }
 
 impl ExactBnB {
-    /// Creates the solver with the default instance-size limit (16).
+    /// Default instance-size ceiling: the largest `N` for which the
+    /// pruned search stays interactive across the paper's `K` range.
+    pub const DEFAULT_MAX_ITEMS: usize = 16;
+
+    /// Creates the solver with the default instance-size limit
+    /// ([`ExactBnB::DEFAULT_MAX_ITEMS`]).
     pub fn new() -> Self {
         ExactBnB::default()
     }
@@ -51,6 +68,12 @@ impl ExactBnB {
     pub fn with_max_items(mut self, limit: usize) -> Self {
         self.max_items = limit;
         self
+    }
+
+    /// The active instance-size ceiling: `allocate` returns
+    /// [`AllocError::TooLarge`] for any database with more items.
+    pub fn max_items(&self) -> usize {
+        self.max_items
     }
 }
 
@@ -191,9 +214,11 @@ mod tests {
     #[test]
     fn rejects_large_instances() {
         let db = WorkloadBuilder::new(30).build().unwrap();
+        assert_eq!(ExactBnB::new().max_items(), ExactBnB::DEFAULT_MAX_ITEMS);
+        assert_eq!(ExactBnB::new().with_max_items(9).max_items(), 9);
         assert!(matches!(
             ExactBnB::new().allocate(&db, 3),
-            Err(AllocError::TooLarge { items: 30, limit: 16 })
+            Err(AllocError::TooLarge { items: 30, limit: ExactBnB::DEFAULT_MAX_ITEMS })
         ));
         // But an explicit limit raise is honored.
         assert!(ExactBnB::new()

@@ -1,0 +1,81 @@
+//! This crate's baselines (FLAT, VF^K, GREEDY, contiguous DP, GOPT,
+//! and the exact solver used as oracle) under the shared harness.
+
+use dbcast_baselines::{ContiguousDp, ExactBnB, Flat, Gopt, GoptConfig, Greedy, Vfk};
+use dbcast_conformance::{Harness, HarnessConfig, Subject};
+use dbcast_model::ChannelAllocator;
+
+fn subjects(seed: u64) -> Vec<Subject> {
+    vec![
+        Subject {
+            allocator: Box::new(Flat::new()),
+            requires_k_le_n: false,
+            permutation_invariant: false,
+            k_monotone: false,
+            stride: 1,
+        },
+        Subject {
+            allocator: Box::new(Vfk::new()),
+            requires_k_le_n: true,
+            permutation_invariant: true,
+            // Frequency-balancing ignores sizes, so K+1 can cost more
+            // under size diversity (see the registry and corpus).
+            k_monotone: false,
+            stride: 1,
+        },
+        Subject {
+            allocator: Box::new(Greedy::new()),
+            requires_k_le_n: false,
+            permutation_invariant: true,
+            k_monotone: false,
+            stride: 1,
+        },
+        Subject {
+            allocator: Box::new(ContiguousDp::new()),
+            requires_k_le_n: true,
+            permutation_invariant: true,
+            k_monotone: true,
+            stride: 1,
+        },
+        Subject {
+            allocator: Box::new(Gopt::new(GoptConfig {
+                population: 24,
+                max_generations: 40,
+                stagnation_limit: 12,
+                seed,
+                ..GoptConfig::default()
+            })),
+            requires_k_le_n: false,
+            permutation_invariant: false,
+            k_monotone: false,
+            stride: 8,
+        },
+    ]
+}
+
+#[test]
+fn baselines_conform() {
+    let report = Harness::with_subjects(
+        HarnessConfig { seed: 0xBA5E, cases: 120, sim_stride: 0, ..Default::default() },
+        subjects(0xBA5E),
+    )
+    .run();
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn exact_oracle_routing_respects_its_ceiling() {
+    // The conformance harness relies on the typed TooLarge rejection to
+    // route large instances to invariant-only checking; pin that here.
+    let db = dbcast_workload::WorkloadBuilder::new(ExactBnB::DEFAULT_MAX_ITEMS + 1)
+        .seed(7)
+        .build()
+        .unwrap();
+    match ExactBnB::new().allocate(&db, 3) {
+        Err(dbcast_model::AllocError::TooLarge { items, limit }) => {
+            assert_eq!(items, ExactBnB::DEFAULT_MAX_ITEMS + 1);
+            assert_eq!(limit, ExactBnB::DEFAULT_MAX_ITEMS);
+        }
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+}

@@ -1,0 +1,102 @@
+//! `dbcast conformance` — run the differential-verification and
+//! deterministic-fuzzing harness over every allocator.
+
+use std::path::PathBuf;
+
+use dbcast_conformance::{load_corpus, Harness, HarnessConfig};
+
+use crate::args::Args;
+use crate::commands::CliError;
+
+/// Fuzzes every registered allocator with `--cases` seeded instances
+/// (replayable: the same `--seed` always generates the same cases),
+/// checks the full invariant suite — exact-oracle routing on small
+/// instances, metamorphic and structural properties everywhere — and
+/// reports any violation with its minimized reproducer.
+///
+/// With `--corpus DIR` (default: the in-repo
+/// `crates/conformance/corpus/` when it exists) the committed
+/// regression corpus is replayed first; a non-ignored entry that
+/// violates again fails the run.
+///
+/// Exit is non-zero when any violation or regression is found.
+///
+/// # Errors
+///
+/// Argument errors, unreadable corpus files, and conformance failures
+/// (reported as [`CliError::InvalidOption`]-style text via
+/// [`CliError::Conformance`]).
+pub fn run_conformance(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
+    let seed = args.opt_or("seed", 42u64)?;
+    let cases = args.opt_or("cases", 500u64)?;
+    let max_n = args.opt_or("max-n", 40usize)?;
+    let max_k = args.opt_or("max-k", 8usize)?;
+    let sim_stride = args.opt_or("sim-stride", 25u64)?;
+    if max_n == 0 {
+        return Err(CliError::InvalidOption("--max-n must be at least 1".to_string()));
+    }
+
+    let harness = Harness::new(HarnessConfig {
+        seed,
+        cases,
+        max_items: max_n,
+        max_channels: max_k,
+        sim_stride,
+        ..Default::default()
+    });
+
+    // Corpus replay: explicit --corpus DIR, or the in-repo default.
+    let corpus_dir: Option<PathBuf> = match args.opt::<String>("corpus")? {
+        Some(dir) => {
+            let dir = PathBuf::from(dir);
+            if !dir.is_dir() {
+                return Err(CliError::InvalidOption(format!(
+                    "--corpus {}: not a directory",
+                    dir.display()
+                )));
+            }
+            Some(dir)
+        }
+        None => {
+            let default = dbcast_conformance::corpus::default_dir();
+            default.is_dir().then_some(default)
+        }
+    };
+    if let Some(dir) = corpus_dir {
+        let entries = load_corpus(&dir)?;
+        let (regressions, fixed) = harness.replay(&entries);
+        writeln!(
+            out,
+            "corpus: {} entries replayed from {} ({} regression(s))",
+            entries.len(),
+            dir.display(),
+            regressions.len()
+        )?;
+        for name in &fixed {
+            writeln!(
+                out,
+                "  note: ignored entry {name:?} no longer fails — drop its ignore flag"
+            )?;
+        }
+        if !regressions.is_empty() {
+            for v in &regressions {
+                writeln!(out, "  {v}")?;
+            }
+            return Err(CliError::Conformance {
+                violations: regressions.len(),
+                context: "corpus replay".to_string(),
+            });
+        }
+    }
+
+    let report = harness.run();
+    write!(out, "{}", report.render())?;
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(CliError::Conformance {
+            violations: report.violations.len(),
+            context: format!("seed {seed}, {cases} cases"),
+        })
+    }
+}

@@ -1,6 +1,7 @@
 //! CLI subcommand implementations.
 
 mod allocate;
+mod conformance_cmd;
 mod evaluate;
 mod generate;
 mod index_cmd;
@@ -11,6 +12,7 @@ mod stats;
 mod sweep;
 
 pub use allocate::run_allocate;
+pub use conformance_cmd::run_conformance;
 pub use evaluate::run_evaluate;
 pub use generate::run_generate;
 pub use index_cmd::run_index;
@@ -46,6 +48,13 @@ pub enum CliError {
     Sim(dbcast_sim::SimError),
     /// Filesystem failure.
     Io(std::io::Error),
+    /// The conformance harness found invariant violations.
+    Conformance {
+        /// Number of violations found.
+        violations: usize,
+        /// What was being checked (corpus replay or a fuzzing run).
+        context: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -63,6 +72,11 @@ impl fmt::Display for CliError {
             CliError::InvalidOption(msg) => write!(f, "invalid option: {msg}"),
             CliError::Sim(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "{e}"),
+            CliError::Conformance { violations, context } => write!(
+                f,
+                "conformance failed: {violations} violation(s) ({context}); \
+                 see the report above for minimized reproducers"
+            ),
         }
     }
 }

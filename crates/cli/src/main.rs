@@ -28,6 +28,7 @@ COMMANDS:
     index           (1, m) air-indexing report (access/tuning/energy)
     replicate       Greedy replication on top of an allocation
     stats           Run one allocation under telemetry, print metrics JSON
+    conformance     Fuzz every allocator against the invariant suite
 
 COMMON OPTIONS:
     --db PATH         Load a workload from JSON (otherwise one is generated)
@@ -51,6 +52,11 @@ COMMAND-SPECIFIC:
                --seeds S      average over S seeds
                --quick        3 seeds instead of 20
     stats:     --simulate     also drive the simulator for engine metrics
+    conformance: --cases C    seeded fuzzing cases     [default: 500]
+               --max-n N      largest generated N      [default: 40]
+               --max-k K      largest generated K      [default: 8]
+               --sim-stride S simulator check every S-th case (0 = off)
+               --corpus DIR   replay a regression corpus directory first
 
 Telemetry (--metrics-out, stats) records real data only when the binary
 is built with `--features obs`; otherwise the snapshot is empty.
@@ -94,6 +100,7 @@ fn run() -> Result<(), CliError> {
         Some("index") => commands::run_index(&args, &mut stdout),
         Some("replicate") => commands::run_replicate(&args, &mut stdout),
         Some("stats") => commands::run_stats(&args, &mut stdout),
+        Some("conformance") => commands::run_conformance(&args, &mut stdout),
         _ => {
             print!("{USAGE}");
             Ok(())

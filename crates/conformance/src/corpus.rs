@@ -1,0 +1,154 @@
+//! The committed regression corpus.
+//!
+//! Every minimized failure can be written as a JSON file under a corpus
+//! directory (`crates/conformance/corpus/` in this repository) and is
+//! replayed by `cargo test` and CI forever after. Entries are
+//! *regressions*: an entry that is not [`CorpusEntry::ignore`]d must
+//! produce **zero** violations today — it records a bug that was fixed
+//! and must stay fixed. Known-open findings are committed with
+//! `"ignore": true` plus a note, so they document the defect without
+//! failing the build.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::instance::Instance;
+
+/// One committed regression case.
+///
+/// The vendored serde derive has no `#[serde(default)]`, so corpus
+/// files must spell out **every** field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusEntry {
+    /// The minimized failing (or once-failing) instance.
+    pub instance: Instance,
+    /// The invariant this entry originally violated.
+    pub invariant: String,
+    /// The implicated algorithm (`null` for cross-cutting checks).
+    pub algorithm: Option<String>,
+    /// The violation detail as observed when the entry was filed.
+    pub detail: String,
+    /// `true` marks a known-open finding: replay reports it but does
+    /// not fail. `false` (the norm) means "fixed; must stay fixed".
+    pub ignore: bool,
+    /// Context for the reader: what happened, where it was fixed.
+    pub note: String,
+}
+
+/// A loaded corpus file, with its provenance for error messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedEntry {
+    /// File stem the entry was loaded from.
+    pub name: String,
+    /// The entry itself.
+    pub entry: CorpusEntry,
+}
+
+/// Loads every `*.json` entry under `dir`, sorted by file name so
+/// replay order is stable. A missing directory is an empty corpus, not
+/// an error.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<NamedEntry>> {
+    let mut entries = Vec::new();
+    let read = match fs::read_dir(dir) {
+        Ok(read) => read,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(entries),
+        Err(e) => return Err(e),
+    };
+    let mut paths: Vec<PathBuf> = read
+        .filter_map(|r| r.ok().map(|d| d.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let file = fs::File::open(&path)?;
+        let entry: CorpusEntry = serde_json::from_reader(io::BufReader::new(file))
+            .map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: {e}", path.display()),
+                )
+            })?;
+        let name =
+            path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+        entries.push(NamedEntry { name, entry });
+    }
+    Ok(entries)
+}
+
+/// Writes `entry` as `dir/<name>.json` (pretty-printed, trailing
+/// newline), creating the directory if needed. Returns the path
+/// written.
+pub fn save(dir: &Path, name: &str, entry: &CorpusEntry) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut text = serde_json::to_string_pretty(entry)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    text.push('\n');
+    fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// The in-repo corpus directory, resolved relative to this crate so it
+/// works from any workspace member's test binary.
+pub fn default_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::ItemFeatures;
+
+    fn entry() -> CorpusEntry {
+        CorpusEntry {
+            instance: Instance::manual(vec![ItemFeatures { frequency: 1.0, size: 2.0 }], 1),
+            invariant: "no-panic".to_string(),
+            algorithm: Some("DRP".to_string()),
+            detail: "example".to_string(),
+            ignore: false,
+            note: "unit-test fixture".to_string(),
+        }
+    }
+
+    #[test]
+    fn save_then_load_roundtrips() {
+        let dir =
+            std::env::temp_dir().join(format!("dbcast-corpus-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let written = save(&dir, "case-b", &entry()).unwrap();
+        assert!(written.ends_with("case-b.json"));
+        save(&dir, "case-a", &entry()).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        // Sorted by file name for stable replay order.
+        assert_eq!(loaded[0].name, "case-a");
+        assert_eq!(loaded[1].name, "case-b");
+        assert_eq!(loaded[0].entry, entry());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_corpus() {
+        let dir = Path::new("/nonexistent/definitely/not/here");
+        assert!(load_dir(dir).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_json_is_a_named_error() {
+        let dir =
+            std::env::temp_dir().join(format!("dbcast-corpus-bad-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("broken.json"), "{not json").unwrap();
+        let err = load_dir(&dir).unwrap_err();
+        assert!(err.to_string().contains("broken.json"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn default_dir_points_into_this_crate() {
+        assert!(default_dir().ends_with("conformance/corpus"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Deterministic, seed-replayable instance generation.
+//!
+//! Every case is derived from `(run seed, case index)` alone — there is
+//! no generator state — so any case from any run can be regenerated in
+//! isolation, which is what makes corpus entries and failure reports
+//! replayable years later.
+//!
+//! The generator performs *structured* fuzzing: most cases follow the
+//! paper's §4.1 workload model (Zipf(θ) frequencies × `10^U[0,Φ]`
+//! sizes), and a fixed fraction is drawn from degenerate shapes that
+//! historically break allocators — `N < K`, uniform frequencies, a
+//! single dominant item, sizes at the model's positive floor,
+//! duplicated items, and single-item databases.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::instance::{Instance, ItemFeatures};
+
+/// Configuration of the instance generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeneratorConfig {
+    /// Run seed; together with a case index it fully determines a case.
+    pub seed: u64,
+    /// Largest `N` the common shapes draw (degenerate shapes stay tiny
+    /// by design).
+    pub max_items: usize,
+    /// Largest `K` the common shapes draw.
+    pub max_channels: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig { seed: 0, max_items: 40, max_channels: 8 }
+    }
+}
+
+/// The stateless case generator.
+#[derive(Debug, Clone, Copy)]
+pub struct InstanceGenerator {
+    cfg: GeneratorConfig,
+}
+
+/// SplitMix64 finalizer — decorrelates `(seed, case)` pairs into
+/// independent ChaCha seeds.
+fn mix(seed: u64, case: u64) -> u64 {
+    let mut z = seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Every shape the generator can draw, in draw-weight order.
+pub const SHAPES: &[&str] = &[
+    "zipf-diverse",
+    "uniform-freq",
+    "equal-size",
+    "dominant-item",
+    "tiny-sizes",
+    "duplicate-items",
+    "n-less-than-k",
+    "single-item",
+];
+
+impl InstanceGenerator {
+    /// Creates a generator for `cfg`.
+    pub fn new(cfg: GeneratorConfig) -> Self {
+        InstanceGenerator { cfg }
+    }
+
+    /// The configuration this generator draws from.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.cfg
+    }
+
+    /// Generates case number `case` of this run. Pure: the same
+    /// `(config, case)` always yields the same instance.
+    pub fn instance(&self, case: u64) -> Instance {
+        let mut rng = ChaCha8Rng::seed_from_u64(mix(self.cfg.seed, case));
+        // Common shapes dominate; each degenerate shape keeps a steady
+        // share so even short runs cover every one of them.
+        let shape = match rng.gen_range(0..16u32) {
+            0..=6 => "zipf-diverse",
+            7..=8 => "uniform-freq",
+            9..=10 => "equal-size",
+            11 => "dominant-item",
+            12 => "tiny-sizes",
+            13 => "duplicate-items",
+            14 => "n-less-than-k",
+            _ => "single-item",
+        };
+        let (items, channels) = self.draw(shape, &mut rng);
+        Instance { items, channels, shape: shape.to_string(), seed: self.cfg.seed, case }
+    }
+
+    fn draw(&self, shape: &str, rng: &mut ChaCha8Rng) -> (Vec<ItemFeatures>, usize) {
+        let max_n = self.cfg.max_items.max(1);
+        let max_k = self.cfg.max_channels.max(1);
+        match shape {
+            "zipf-diverse" => {
+                let n = rng.gen_range(1..=max_n);
+                let theta = rng.gen::<f64>() * 1.6;
+                let phi = rng.gen::<f64>() * 3.0;
+                let items = (0..n)
+                    .map(|rank| ItemFeatures {
+                        frequency: zipf_weight(rank, theta),
+                        size: 10f64.powf(rng.gen::<f64>() * phi),
+                    })
+                    .collect();
+                (items, rng.gen_range(1..=n.min(max_k)))
+            }
+            "uniform-freq" => {
+                let n = rng.gen_range(1..=max_n);
+                let items = (0..n)
+                    .map(|_| ItemFeatures {
+                        frequency: 1.0,
+                        size: 10f64.powf(rng.gen::<f64>() * 2.0),
+                    })
+                    .collect();
+                (items, rng.gen_range(1..=n.min(max_k)))
+            }
+            "equal-size" => {
+                // The conventional environment (Φ = 0).
+                let n = rng.gen_range(1..=max_n);
+                let theta = rng.gen::<f64>() * 1.6;
+                let items = (0..n)
+                    .map(|rank| ItemFeatures {
+                        frequency: zipf_weight(rank, theta),
+                        size: 1.0,
+                    })
+                    .collect();
+                (items, rng.gen_range(1..=n.min(max_k)))
+            }
+            "dominant-item" => {
+                let n = rng.gen_range(2..=max_n.max(2));
+                let items = (0..n)
+                    .map(|rank| ItemFeatures {
+                        frequency: if rank == 0 { 0.95 } else { 0.05 / (n - 1) as f64 },
+                        size: 10f64.powf(rng.gen::<f64>() * 2.0),
+                    })
+                    .collect();
+                (items, rng.gen_range(1..=n.min(max_k)))
+            }
+            "tiny-sizes" => {
+                // Sizes at the model's positive floor ("zero-size" items
+                // up to validation, which rejects exact zeros) mixed
+                // with ordinary ones.
+                let n = rng.gen_range(1..=max_n);
+                let items = (0..n)
+                    .map(|_| ItemFeatures {
+                        frequency: 0.01 + rng.gen::<f64>(),
+                        size: if rng.gen_bool(0.5) {
+                            1e-9 * (1.0 + rng.gen::<f64>())
+                        } else {
+                            10f64.powf(rng.gen::<f64>() * 2.0)
+                        },
+                    })
+                    .collect();
+                (items, rng.gen_range(1..=n.min(max_k)))
+            }
+            "duplicate-items" => {
+                // Every item identical: stresses tie-breaking everywhere.
+                let n = rng.gen_range(1..=max_n);
+                let f = 0.1 + rng.gen::<f64>();
+                let z = 10f64.powf(rng.gen::<f64>() * 2.0);
+                let items =
+                    (0..n).map(|_| ItemFeatures { frequency: f, size: z }).collect();
+                (items, rng.gen_range(1..=n.min(max_k)))
+            }
+            "n-less-than-k" => {
+                let n = rng.gen_range(1..=4usize);
+                let items = (0..n)
+                    .map(|rank| ItemFeatures {
+                        frequency: zipf_weight(rank, 0.8),
+                        size: 10f64.powf(rng.gen::<f64>() * 2.0),
+                    })
+                    .collect();
+                (items, n + rng.gen_range(1..=4usize))
+            }
+            "single-item" => {
+                let items = vec![ItemFeatures {
+                    frequency: 1.0,
+                    size: 10f64.powf(rng.gen::<f64>() * 3.0),
+                }];
+                (items, rng.gen_range(1..=3usize))
+            }
+            other => unreachable!("unknown shape {other}"),
+        }
+    }
+}
+
+/// Unnormalized Zipf weight of 0-based `rank`: `(1/(rank+1))^θ`. The
+/// database constructor performs the normalization.
+fn zipf_weight(rank: usize, theta: f64) -> f64 {
+    (1.0 / (rank + 1) as f64).powf(theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn same_seed_same_case_same_instance() {
+        let g = InstanceGenerator::new(GeneratorConfig { seed: 7, ..Default::default() });
+        assert_eq!(g.instance(12), g.instance(12));
+    }
+
+    #[test]
+    fn cases_are_decorrelated() {
+        let g = InstanceGenerator::new(GeneratorConfig::default());
+        assert_ne!(g.instance(0), g.instance(1));
+        let h = InstanceGenerator::new(GeneratorConfig { seed: 1, ..Default::default() });
+        assert_ne!(g.instance(0), h.instance(0));
+    }
+
+    #[test]
+    fn every_shape_appears_and_every_instance_is_buildable() {
+        let g = InstanceGenerator::new(GeneratorConfig { seed: 3, ..Default::default() });
+        let mut seen = BTreeSet::new();
+        for case in 0..400 {
+            let inst = g.instance(case);
+            seen.insert(inst.shape.clone());
+            assert!(inst.channels >= 1);
+            assert!(!inst.is_empty());
+            // Every generated instance passes model validation.
+            let db = inst.database().unwrap();
+            assert_eq!(db.len(), inst.len());
+        }
+        for shape in SHAPES {
+            assert!(seen.contains(*shape), "shape {shape} never drawn in 400 cases");
+        }
+    }
+
+    #[test]
+    fn bounds_are_honored() {
+        let cfg = GeneratorConfig { seed: 9, max_items: 12, max_channels: 3 };
+        let g = InstanceGenerator::new(cfg);
+        for case in 0..300 {
+            let inst = g.instance(case);
+            if inst.shape == "n-less-than-k" {
+                assert!(inst.channels > inst.len());
+            } else if inst.shape == "single-item" {
+                assert_eq!(inst.len(), 1);
+            } else {
+                assert!(inst.len() <= 12, "N = {} in {}", inst.len(), inst.shape);
+                assert!(inst.channels <= 3, "{}", inst.summary());
+            }
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! The driver that ties generator, registry, invariants, shrinking and
+//! corpus together.
+//!
+//! One [`Harness::run`] call generates `cases` instances from a seed,
+//! checks every registered subject against the full invariant suite
+//! (routing small instances through the exact oracle), shrinks each
+//! failure to a minimal reproducer and returns a [`ConformanceReport`].
+//! The same entry points back the `dbcast conformance` CLI subcommand,
+//! the per-crate property tests and the CI corpus replay.
+
+use crate::corpus::NamedEntry;
+use crate::generator::{GeneratorConfig, InstanceGenerator};
+use crate::instance::Instance;
+use crate::invariants::{CheckConfig, Violation};
+use crate::registry::{standard_subjects, Subject};
+use crate::shrink::{shrink, ShrinkConfig};
+
+/// Configuration of one conformance run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessConfig {
+    /// Run seed; every case is derived from `(seed, case index)`.
+    pub seed: u64,
+    /// Number of generated cases.
+    pub cases: u64,
+    /// Largest generated `N`.
+    pub max_items: usize,
+    /// Largest generated `K`.
+    pub max_channels: usize,
+    /// Oracle routing ceiling: instances with at most this many items
+    /// (and [`HarnessConfig::oracle_max_channels`] channels) are also
+    /// checked against [`dbcast_baselines::ExactBnB`].
+    pub oracle_max_items: usize,
+    /// See [`HarnessConfig::oracle_max_items`].
+    pub oracle_max_channels: usize,
+    /// Run the analytical-vs-simulated agreement check on every
+    /// `sim_stride`-th case (0 disables it; it is the most expensive
+    /// check in the suite).
+    pub sim_stride: u64,
+    /// Shrink failures to minimal reproducers before reporting.
+    pub shrink: bool,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            seed: 0,
+            cases: 200,
+            max_items: 40,
+            max_channels: 8,
+            oracle_max_items: 10,
+            oracle_max_channels: 4,
+            sim_stride: 25,
+            shrink: true,
+        }
+    }
+}
+
+/// The outcome of a conformance run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConformanceReport {
+    /// Cases generated and checked.
+    pub cases: u64,
+    /// Cases additionally routed through the exact oracle.
+    pub oracle_cases: u64,
+    /// Cases on which the simulator agreement check ran.
+    pub sim_cases: u64,
+    /// Every violation found, shrunk when shrinking was enabled.
+    pub violations: Vec<Violation>,
+}
+
+impl ConformanceReport {
+    /// `true` when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One line per violation plus a header — the CLI's plain output.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "conformance: {} cases ({} oracle-checked, {} sim-checked), {} violation(s)\n",
+            self.cases,
+            self.oracle_cases,
+            self.sim_cases,
+            self.violations.len()
+        );
+        for v in &self.violations {
+            out.push_str(&format!("  {v}\n"));
+        }
+        out
+    }
+}
+
+/// The conformance harness: a subject registry plus tuning knobs.
+pub struct Harness {
+    cfg: HarnessConfig,
+    subjects: Vec<Subject>,
+}
+
+impl Harness {
+    /// A harness over the standard registry (every production
+    /// allocator, GOPT strided).
+    pub fn new(cfg: HarnessConfig) -> Self {
+        let subjects = standard_subjects(cfg.seed);
+        Harness { cfg, subjects }
+    }
+
+    /// A harness over a caller-chosen registry — used by per-crate
+    /// property tests that focus on their own allocators.
+    pub fn with_subjects(cfg: HarnessConfig, subjects: Vec<Subject>) -> Self {
+        Harness { cfg, subjects }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HarnessConfig {
+        &self.cfg
+    }
+
+    /// Generates and checks `cfg.cases` instances, shrinking failures.
+    pub fn run(&self) -> ConformanceReport {
+        let _span = dbcast_obs::span!("conformance.run");
+        let generator = InstanceGenerator::new(GeneratorConfig {
+            seed: self.cfg.seed,
+            max_items: self.cfg.max_items,
+            max_channels: self.cfg.max_channels,
+        });
+        let mut report = ConformanceReport {
+            cases: self.cfg.cases,
+            oracle_cases: 0,
+            sim_cases: 0,
+            violations: Vec::new(),
+        };
+        for case in 0..self.cfg.cases {
+            let instance = generator.instance(case);
+            let check = self.check_config_for(case, &instance);
+            if instance.len() <= check.oracle_max_items
+                && instance.channels <= check.oracle_max_channels
+            {
+                report.oracle_cases += 1;
+            }
+            if check.check_sim {
+                report.sim_cases += 1;
+            }
+            let violations = self.check_with(&instance, &check);
+            dbcast_obs::counter!("conformance.cases").inc();
+            if !violations.is_empty() {
+                dbcast_obs::counter!("conformance.violations").add(violations.len() as u64);
+                report.violations.extend(self.minimize(violations, &check));
+            }
+        }
+        dbcast_obs::gauge!("conformance.last_run.violations")
+            .set(report.violations.len() as f64);
+        report
+    }
+
+    /// Checks one explicit instance (corpus replay, external callers).
+    /// The simulator check follows the instance's own case stride, so a
+    /// replayed corpus entry is checked exactly as its original run
+    /// checked it.
+    pub fn check_instance(&self, instance: &Instance) -> Vec<Violation> {
+        let check = self.check_config_for(instance.case, instance);
+        self.check_with(instance, &check)
+    }
+
+    /// Replays corpus entries: returns the violations of every
+    /// non-ignored entry (which must therefore be empty for a green
+    /// build) and, separately, the names of ignored entries that now
+    /// pass and should have their `ignore` flag removed.
+    pub fn replay(&self, corpus: &[NamedEntry]) -> (Vec<Violation>, Vec<String>) {
+        let mut regressions = Vec::new();
+        let mut fixed = Vec::new();
+        for named in corpus {
+            let violations = self.check_instance(&named.entry.instance);
+            dbcast_obs::counter!("conformance.corpus.replayed").inc();
+            if named.entry.ignore {
+                if violations.is_empty() {
+                    fixed.push(named.name.clone());
+                }
+            } else {
+                regressions.extend(violations);
+            }
+        }
+        (regressions, fixed)
+    }
+
+    fn check_config_for(&self, case: u64, _instance: &Instance) -> CheckConfig {
+        CheckConfig {
+            oracle_max_items: self.cfg.oracle_max_items,
+            oracle_max_channels: self.cfg.oracle_max_channels,
+            check_sim: self.cfg.sim_stride > 0 && case.is_multiple_of(self.cfg.sim_stride),
+            ..CheckConfig::default()
+        }
+    }
+
+    fn check_with(&self, instance: &Instance, check: &CheckConfig) -> Vec<Violation> {
+        let active: Vec<&Subject> = self
+            .subjects
+            .iter()
+            .filter(|s| s.stride <= 1 || instance.case.is_multiple_of(s.stride))
+            .collect();
+        // check_instance takes a slice of owned subjects; rebuild a
+        // borrowed view without cloning allocators.
+        check_filtered(instance, &active, check)
+    }
+
+    /// Shrinks each violation to a minimal instance that still violates
+    /// the *same* invariant (for the same algorithm).
+    fn minimize(&self, violations: Vec<Violation>, check: &CheckConfig) -> Vec<Violation> {
+        if !self.cfg.shrink {
+            return violations;
+        }
+        violations
+            .into_iter()
+            .map(|v| {
+                let _span = dbcast_obs::span!("conformance.shrink");
+                let target = (v.invariant.clone(), v.algorithm.clone());
+                let small = shrink(&v.instance, &ShrinkConfig::default(), |candidate| {
+                    self.check_with(candidate, check)
+                        .iter()
+                        .any(|c| (c.invariant.clone(), c.algorithm.clone()) == target)
+                });
+                // Re-derive the detail from the shrunk instance so the
+                // report matches what the corpus entry will replay.
+                self.check_with(&small, check)
+                    .into_iter()
+                    .find(|c| (c.invariant == v.invariant) && (c.algorithm == v.algorithm))
+                    .unwrap_or(v)
+            })
+            .collect()
+    }
+}
+
+fn check_filtered(
+    instance: &Instance,
+    subjects: &[&Subject],
+    check: &CheckConfig,
+) -> Vec<Violation> {
+    // `check_instance` wants `&[Subject]`; we only have borrows, so go
+    // through the slice-of-refs entry point.
+    crate::invariants::check_instance_refs(instance, subjects, check)
+}
+
+// Re-exported here so the harness module reads top-down; the actual
+// logic lives in `invariants`.
+pub use crate::invariants::check_instance as check_one;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusEntry;
+    use crate::instance::ItemFeatures;
+
+    fn quick_cfg() -> HarnessConfig {
+        HarnessConfig { cases: 40, sim_stride: 20, max_items: 14, ..Default::default() }
+    }
+
+    #[test]
+    fn a_short_standard_run_is_clean() {
+        let report = Harness::new(quick_cfg()).run();
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.cases, 40);
+        assert!(report.oracle_cases > 0, "no case was oracle-sized");
+        assert!(report.sim_cases >= 2);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let a = Harness::new(quick_cfg()).run();
+        let b = Harness::new(quick_cfg()).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_explore_different_cases() {
+        let mut cfg = quick_cfg();
+        cfg.sim_stride = 0;
+        let g0 = InstanceGenerator::new(GeneratorConfig {
+            seed: cfg.seed,
+            max_items: cfg.max_items,
+            max_channels: cfg.max_channels,
+        });
+        cfg.seed = 99;
+        let g1 = InstanceGenerator::new(GeneratorConfig {
+            seed: cfg.seed,
+            max_items: cfg.max_items,
+            max_channels: cfg.max_channels,
+        });
+        assert_ne!(g0.instance(0), g1.instance(0));
+    }
+
+    #[test]
+    fn replay_flags_fixed_ignored_entries_and_clean_regressions() {
+        let harness = Harness::new(HarnessConfig { shrink: false, ..quick_cfg() });
+        let clean = Instance::manual(
+            vec![
+                ItemFeatures { frequency: 0.7, size: 1.0 },
+                ItemFeatures { frequency: 0.3, size: 4.0 },
+            ],
+            2,
+        );
+        let corpus = vec![
+            NamedEntry {
+                name: "fixed-regression".to_string(),
+                entry: CorpusEntry {
+                    instance: clean.clone(),
+                    invariant: "no-panic".to_string(),
+                    algorithm: Some("DRP".to_string()),
+                    detail: "historic".to_string(),
+                    ignore: false,
+                    note: "".to_string(),
+                },
+            },
+            NamedEntry {
+                name: "stale-ignore".to_string(),
+                entry: CorpusEntry {
+                    instance: clean,
+                    invariant: "no-panic".to_string(),
+                    algorithm: None,
+                    detail: "historic".to_string(),
+                    ignore: true,
+                    note: "".to_string(),
+                },
+            },
+        ];
+        let (regressions, fixed) = harness.replay(&corpus);
+        assert!(regressions.is_empty(), "{regressions:?}");
+        assert_eq!(fixed, vec!["stale-ignore".to_string()]);
+    }
+
+    #[test]
+    fn shrinking_reduces_a_seeded_failure() {
+        // A subject that fails whenever N ≥ 3 — the shrunk repro must
+        // be exactly 3 items.
+        use dbcast_model::{AllocError, Allocation, ChannelAllocator, Database};
+        struct FailsOnThree;
+        impl ChannelAllocator for FailsOnThree {
+            fn name(&self) -> &str {
+                "FAILS-ON-3"
+            }
+            fn allocate(
+                &self,
+                db: &Database,
+                channels: usize,
+            ) -> Result<Allocation, AllocError> {
+                assert!(db.len() < 3, "injected failure");
+                let assignment = (0..db.len()).map(|i| i % channels).collect();
+                Ok(Allocation::from_assignment(db, channels, assignment)?)
+            }
+        }
+        let subjects = vec![Subject {
+            allocator: Box::new(FailsOnThree),
+            requires_k_le_n: false,
+            permutation_invariant: false,
+            k_monotone: false,
+            stride: 1,
+        }];
+        let harness = Harness::with_subjects(
+            HarnessConfig { cases: 30, sim_stride: 0, ..Default::default() },
+            subjects,
+        );
+        let report = harness.run();
+        assert!(!report.is_clean(), "the injected failure never triggered");
+        for v in &report.violations {
+            assert_eq!(v.invariant, "no-panic");
+            assert_eq!(v.instance.len(), 3, "not minimal: {}", v.instance.summary());
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! A conformance *instance*: the raw, replayable description of one
+//! fuzzing case.
+//!
+//! Instances carry pre-normalization `(frequency, size)` pairs rather
+//! than a built [`Database`] so that corpus files stay human-editable
+//! and metamorphic transformations (permutation, scaling) act on the
+//! exact values the generator drew.
+
+use dbcast_model::{Database, ItemSpec, ModelError};
+use serde::{Deserialize, Serialize};
+
+/// Raw features of one item, before frequency normalization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ItemFeatures {
+    /// Raw access popularity (any positive finite value; the model
+    /// normalizes frequencies to sum to 1 at construction).
+    pub frequency: f64,
+    /// Item size in size units.
+    pub size: f64,
+}
+
+/// One generated or hand-written conformance case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Raw per-item features in id order.
+    pub items: Vec<ItemFeatures>,
+    /// Requested channel count `K`.
+    pub channels: usize,
+    /// The structural shape the generator drew this case from (e.g.
+    /// `"zipf-diverse"`, `"n-less-than-k"`); `"manual"` for
+    /// hand-written corpus entries.
+    pub shape: String,
+    /// Seed of the generator run that produced this case (0 for
+    /// hand-written entries).
+    pub seed: u64,
+    /// Case index within that generator run.
+    pub case: u64,
+}
+
+impl Instance {
+    /// A hand-written instance (shape `"manual"`, seed/case 0).
+    pub fn manual(items: Vec<ItemFeatures>, channels: usize) -> Self {
+        Instance { items, channels, shape: "manual".to_string(), seed: 0, case: 0 }
+    }
+
+    /// Number of items `N`.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the instance has no items (invalid; kept so shrinking
+    /// can detect over-shrunk candidates).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Builds the model [`Database`] (normalizing frequencies).
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`Database::try_from_specs`] rejects — corpus files are
+    /// user input and may encode invalid features on purpose.
+    pub fn database(&self) -> Result<Database, ModelError> {
+        Database::try_from_specs(
+            self.items.iter().map(|it| ItemSpec::new(it.frequency, it.size)),
+        )
+    }
+
+    /// The same instance with items reordered by `perm` (`perm[i]` is
+    /// the old index of the item placed at new position `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..len`.
+    pub fn permuted(&self, perm: &[usize]) -> Instance {
+        assert_eq!(perm.len(), self.items.len(), "permutation length mismatch");
+        let mut inst = self.clone();
+        inst.items = perm.iter().map(|&old| self.items[old]).collect();
+        inst
+    }
+
+    /// The same instance with every size multiplied by `factor`.
+    pub fn scaled_sizes(&self, factor: f64) -> Instance {
+        let mut inst = self.clone();
+        for it in &mut inst.items {
+            it.size *= factor;
+        }
+        inst
+    }
+
+    /// The same instance with every raw frequency multiplied by
+    /// `factor` (a no-op after normalization when `factor` is exact in
+    /// binary floating point, e.g. a power of two).
+    pub fn scaled_frequencies(&self, factor: f64) -> Instance {
+        let mut inst = self.clone();
+        for it in &mut inst.items {
+            it.frequency *= factor;
+        }
+        inst
+    }
+
+    /// A one-line human-readable summary for reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} (N = {}, K = {}, seed {}, case {})",
+            self.shape,
+            self.items.len(),
+            self.channels,
+            self.seed,
+            self.case
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> Instance {
+        Instance::manual(
+            vec![
+                ItemFeatures { frequency: 3.0, size: 2.0 },
+                ItemFeatures { frequency: 1.0, size: 8.0 },
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn database_normalizes() {
+        let db = inst().database().unwrap();
+        assert!((db.items()[0].frequency() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_reorders() {
+        let p = inst().permuted(&[1, 0]);
+        assert_eq!(p.items[0].size, 8.0);
+        assert_eq!(p.items[1].size, 2.0);
+    }
+
+    #[test]
+    fn scaling_acts_on_raw_features() {
+        let s = inst().scaled_sizes(2.0);
+        assert_eq!(s.items[0].size, 4.0);
+        let f = inst().scaled_frequencies(4.0);
+        assert_eq!(f.items[0].frequency, 12.0);
+        // Power-of-two frequency scaling is invisible after normalization.
+        let db_a = inst().database().unwrap();
+        let db_b = f.database().unwrap();
+        assert_eq!(db_a, db_b);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let i = inst();
+        let text = serde_json::to_string(&i).unwrap();
+        let back: Instance = serde_json::from_str(&text).unwrap();
+        assert_eq!(i, back);
+    }
+}

@@ -1,0 +1,250 @@
+//! Failure minimization: given an instance that violates an invariant,
+//! find a smaller instance that still violates it before anything is
+//! reported or filed into the corpus.
+//!
+//! The shrinker is a plain greedy delta-debugger over three reduction
+//! families, iterated to a fixed point (bounded by a predicate-call
+//! budget, since each probe re-runs allocators):
+//!
+//! 1. **Bisect items** — drop halves, then quarters, … of the item
+//!    list, ddmin-style.
+//! 2. **Reduce channels** — smaller `K` means smaller search spaces in
+//!    every allocator the repro exercises.
+//! 3. **Round features** — snap each frequency/size to `1.0` (and then
+//!    to one significant digit), turning noisy reals into values a
+//!    human can reason about in a corpus file.
+
+use crate::instance::Instance;
+
+/// Bounds of one shrink run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShrinkConfig {
+    /// Maximum number of predicate evaluations (each one typically
+    /// re-runs the full invariant suite on a candidate).
+    pub max_probes: usize,
+}
+
+impl Default for ShrinkConfig {
+    fn default() -> Self {
+        ShrinkConfig { max_probes: 400 }
+    }
+}
+
+/// Shrinks `instance` while `still_fails` keeps returning `true`,
+/// returning the smallest failing instance found (possibly the
+/// original). The predicate is never trusted on the original — callers
+/// pass an instance they already observed failing.
+pub fn shrink<F>(instance: &Instance, cfg: &ShrinkConfig, mut still_fails: F) -> Instance
+where
+    F: FnMut(&Instance) -> bool,
+{
+    let mut best = instance.clone();
+    let mut probes = 0usize;
+    // Iterate all passes until none of them makes progress.
+    loop {
+        let before = fingerprint(&best);
+        shrink_items(&mut best, cfg, &mut probes, &mut still_fails);
+        shrink_channels(&mut best, cfg, &mut probes, &mut still_fails);
+        round_features(&mut best, cfg, &mut probes, &mut still_fails);
+        if probes >= cfg.max_probes || fingerprint(&best) == before {
+            return best;
+        }
+    }
+}
+
+/// Cheap progress detector for the fixed-point loop.
+fn fingerprint(inst: &Instance) -> (usize, usize, u64) {
+    let feature_bits = inst.items.iter().fold(0u64, |acc, it| {
+        acc.wrapping_mul(31)
+            .wrapping_add(it.frequency.to_bits() ^ it.size.to_bits().rotate_left(17))
+    });
+    (inst.items.len(), inst.channels, feature_bits)
+}
+
+fn try_candidate<F>(
+    best: &mut Instance,
+    candidate: Instance,
+    cfg: &ShrinkConfig,
+    probes: &mut usize,
+    still_fails: &mut F,
+) -> bool
+where
+    F: FnMut(&Instance) -> bool,
+{
+    if *probes >= cfg.max_probes || candidate.is_empty() || candidate.channels == 0 {
+        return false;
+    }
+    *probes += 1;
+    if still_fails(&candidate) {
+        *best = candidate;
+        true
+    } else {
+        false
+    }
+}
+
+/// ddmin over the item list: try removing chunks of shrinking size.
+fn shrink_items<F>(
+    best: &mut Instance,
+    cfg: &ShrinkConfig,
+    probes: &mut usize,
+    still_fails: &mut F,
+) where
+    F: FnMut(&Instance) -> bool,
+{
+    let mut chunk = best.len() / 2;
+    while chunk >= 1 {
+        let mut start = 0;
+        while start < best.len() && best.len() > 1 {
+            let mut candidate = best.clone();
+            let end = (start + chunk).min(candidate.items.len());
+            candidate.items.drain(start..end);
+            if try_candidate(best, candidate, cfg, probes, still_fails) {
+                // Chunk removed; retry the same offset against the
+                // shorter list.
+                continue;
+            }
+            start += chunk;
+            if *probes >= cfg.max_probes {
+                return;
+            }
+        }
+        chunk /= 2;
+    }
+}
+
+/// Lower `K` as far as the failure allows (binary-search-free linear
+/// walk — `K` is at most a handful).
+fn shrink_channels<F>(
+    best: &mut Instance,
+    cfg: &ShrinkConfig,
+    probes: &mut usize,
+    still_fails: &mut F,
+) where
+    F: FnMut(&Instance) -> bool,
+{
+    while best.channels > 1 {
+        let mut candidate = best.clone();
+        candidate.channels -= 1;
+        if !try_candidate(best, candidate, cfg, probes, still_fails) {
+            return;
+        }
+    }
+}
+
+/// Snap features toward human-readable values: first `1.0`, then one
+/// significant digit.
+fn round_features<F>(
+    best: &mut Instance,
+    cfg: &ShrinkConfig,
+    probes: &mut usize,
+    still_fails: &mut F,
+) where
+    F: FnMut(&Instance) -> bool,
+{
+    for idx in 0..best.len() {
+        for field in [Field::Frequency, Field::Size] {
+            let current = field.get(&best.items[idx]);
+            for replacement in [1.0, round_to_one_digit(current)] {
+                if replacement == current || !replacement.is_finite() || replacement <= 0.0
+                {
+                    continue;
+                }
+                let mut candidate = best.clone();
+                field.set(&mut candidate.items[idx], replacement);
+                try_candidate(best, candidate, cfg, probes, still_fails);
+                if *probes >= cfg.max_probes {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Field {
+    Frequency,
+    Size,
+}
+
+impl Field {
+    fn get(self, it: &crate::instance::ItemFeatures) -> f64 {
+        match self {
+            Field::Frequency => it.frequency,
+            Field::Size => it.size,
+        }
+    }
+    fn set(self, it: &mut crate::instance::ItemFeatures, v: f64) {
+        match self {
+            Field::Frequency => it.frequency = v,
+            Field::Size => it.size = v,
+        }
+    }
+}
+
+/// `1234.5 -> 1000.0`, `0.0123 -> 0.01`: keeps the magnitude, drops the
+/// noise.
+fn round_to_one_digit(v: f64) -> f64 {
+    if !v.is_finite() || v <= 0.0 {
+        return v;
+    }
+    let exp = v.abs().log10().floor();
+    let scale = 10f64.powf(exp);
+    (v / scale).round() * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::ItemFeatures;
+
+    fn noisy_instance(n: usize) -> Instance {
+        Instance::manual(
+            (0..n)
+                .map(|i| ItemFeatures {
+                    frequency: 0.317 + i as f64 * 0.211,
+                    size: 3.77 + i as f64,
+                })
+                .collect(),
+            4,
+        )
+    }
+
+    #[test]
+    fn shrinks_to_a_single_item_when_anything_fails() {
+        // Predicate "always fails" — the minimum is one item, K = 1,
+        // with both features snapped to 1.0.
+        let out = shrink(&noisy_instance(20), &ShrinkConfig::default(), |_| true);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.channels, 1);
+        assert_eq!(out.items[0], ItemFeatures { frequency: 1.0, size: 1.0 });
+    }
+
+    #[test]
+    fn preserves_the_property_that_fails() {
+        // Failure requires ≥ 3 items and K ≥ 2: shrink must stop there.
+        let out = shrink(&noisy_instance(20), &ShrinkConfig::default(), |i| {
+            i.len() >= 3 && i.channels >= 2
+        });
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.channels, 2);
+    }
+
+    #[test]
+    fn probe_budget_is_respected() {
+        let mut calls = 0usize;
+        let cfg = ShrinkConfig { max_probes: 17 };
+        shrink(&noisy_instance(30), &cfg, |_| {
+            calls += 1;
+            true
+        });
+        assert!(calls <= 17, "{calls} probes for a 17-probe budget");
+    }
+
+    #[test]
+    fn rounding_keeps_magnitude() {
+        assert_eq!(round_to_one_digit(1234.5), 1000.0);
+        assert_eq!(round_to_one_digit(0.0123), 0.01);
+        assert_eq!(round_to_one_digit(9.6), 10.0);
+    }
+}

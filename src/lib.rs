@@ -57,6 +57,7 @@
 pub use dbcast_alloc as alloc;
 pub use dbcast_baselines as baselines;
 pub use dbcast_cache as cache;
+pub use dbcast_conformance as conformance;
 pub use dbcast_disks as disks;
 pub use dbcast_hetero as hetero;
 pub use dbcast_index as index;

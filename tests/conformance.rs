@@ -1,0 +1,120 @@
+//! Workspace-level conformance: degenerate workloads across every
+//! allocator, corpus replay, and a seeded end-to-end harness run.
+
+use dbcast::conformance::{
+    load_corpus, standard_subjects, CheckConfig, Harness, HarnessConfig, Instance,
+    ItemFeatures,
+};
+use dbcast::model::AllocError;
+
+/// The degenerate shapes from the issue checklist, as explicit
+/// hand-written instances (the generator also draws them randomly; this
+/// pins each one unconditionally).
+fn degenerate_instances() -> Vec<(&'static str, Instance)> {
+    let f = |frequency, size| ItemFeatures { frequency, size };
+    vec![
+        ("n-less-than-k", Instance::manual(vec![f(0.6, 3.0), f(0.4, 7.0)], 5)),
+        (
+            "all-equal-frequencies",
+            Instance::manual((0..8).map(|i| f(1.0, 1.0 + i as f64)).collect(), 3),
+        ),
+        (
+            "single-dominant-item",
+            Instance::manual(
+                std::iter::once(f(0.97, 50.0))
+                    .chain((0..6).map(|_| f(0.005, 2.0)))
+                    .collect(),
+                3,
+            ),
+        ),
+        (
+            "zero-cost-channels",
+            // More channels than high-cost items: optimal layouts leave
+            // channels holding only floor-sized (near-zero-cost) items.
+            Instance::manual(
+                vec![f(0.5, 10.0), f(0.3, 1e-9), f(0.1, 1e-9), f(0.1, 1e-9)],
+                4,
+            ),
+        ),
+        ("single-item", Instance::manual(vec![f(1.0, 5.0)], 2)),
+    ]
+}
+
+/// Every degenerate shape runs the full invariant suite over the whole
+/// registry: no panics, and per the model contract each allocator
+/// either returns exactly `K` (possibly empty-tail) groups or the typed
+/// `Infeasible` rejection.
+#[test]
+fn degenerate_workloads_conform_across_all_allocators() {
+    let subjects = standard_subjects(7);
+    for (label, instance) in degenerate_instances() {
+        let violations = dbcast::conformance::check_instance(
+            &instance,
+            &subjects,
+            &CheckConfig::default(),
+        );
+        assert!(violations.is_empty(), "{label}: {violations:?}");
+    }
+}
+
+/// The `K` > `N` split, asserted directly (not just through the
+/// harness): partition-style allocators reject with `Infeasible`, the
+/// rest succeed with exactly `K` groups and `K - N` of them empty.
+#[test]
+fn k_greater_than_n_is_typed_per_allocator() {
+    let instance = Instance::manual(
+        vec![
+            ItemFeatures { frequency: 0.6, size: 3.0 },
+            ItemFeatures { frequency: 0.4, size: 7.0 },
+        ],
+        5,
+    );
+    let db = instance.database().unwrap();
+    for subject in standard_subjects(7) {
+        let outcome = subject.allocator.allocate(&db, instance.channels);
+        if subject.requires_k_le_n {
+            assert!(
+                matches!(outcome, Err(AllocError::Infeasible { .. })),
+                "{} must reject K > N with Infeasible, got {outcome:?}",
+                subject.name()
+            );
+        } else {
+            let alloc = outcome.unwrap_or_else(|e| {
+                panic!("{} must accept K > N, got {e}", subject.name())
+            });
+            assert_eq!(alloc.channels(), 5, "{}", subject.name());
+            assert_eq!(alloc.empty_channels(), 3, "{}", subject.name());
+        }
+    }
+}
+
+/// The committed regression corpus replays clean against the standard
+/// registry; stale `ignore` flags are reported as failures too, so the
+/// corpus cannot silently rot.
+#[test]
+fn regression_corpus_replays_clean() {
+    let corpus = load_corpus(&dbcast::conformance::corpus::default_dir())
+        .expect("corpus directory must parse");
+    assert!(!corpus.is_empty(), "the committed corpus disappeared");
+    let harness = Harness::new(HarnessConfig { shrink: false, ..Default::default() });
+    let (regressions, fixed) = harness.replay(&corpus);
+    assert!(regressions.is_empty(), "corpus regressions: {regressions:?}");
+    assert!(fixed.is_empty(), "entries {fixed:?} no longer fail; remove their ignore flag");
+}
+
+/// The issue's acceptance run, scaled down for the test suite: a seeded
+/// end-to-end fuzzing pass over the full registry must be clean. The CI
+/// conformance job runs the full `--seed 42 --cases 500` via the CLI.
+#[test]
+fn seeded_harness_run_is_clean() {
+    let report = Harness::new(HarnessConfig {
+        seed: 42,
+        cases: 60,
+        sim_stride: 30,
+        ..Default::default()
+    })
+    .run();
+    assert!(report.is_clean(), "{}", report.render());
+    assert!(report.oracle_cases > 0);
+    assert!(report.sim_cases > 0);
+}

@@ -109,6 +109,7 @@ impl Cds {
     /// ascending, items within `p` in id order, destination `q`
     /// ascending; strict `>` keeps the first of tied candidates.
     fn best_move(&self, alloc: &Allocation) -> Option<(Move, f64)> {
+        let _scan = dbcast_obs::span!("alloc.cds.best_move");
         let k = alloc.channels();
         let mut best: Option<(Move, f64)> = None;
         let mut best_reduction = self.min_reduction;

@@ -185,6 +185,9 @@ impl Drp {
             });
         }
 
+        // Root span for the whole run; the per-split scans below nest
+        // under it in the span tree.
+        let _run = dbcast_obs::span!("alloc.drp.run");
         let order = db.ids_by_benefit_ratio_desc();
         let features: Vec<(f64, f64)> = order
             .iter()

@@ -210,6 +210,7 @@ impl Gopt {
 
         let evolve_span = dbcast_obs::span!("baselines.gopt.evolve");
         while generations < cfg.max_generations {
+            let _gen_span = dbcast_obs::span!("baselines.gopt.generation");
             generations += 1;
             let mut next: Vec<(Vec<usize>, f64)> =
                 population.iter().take(cfg.elites).cloned().collect();

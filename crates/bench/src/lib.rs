@@ -41,4 +41,6 @@ pub use runner::{
     run_tables,
 };
 pub use sweep::{run_sweep, AlgoPoint, SweepPoint, SweepResult};
-pub use timing::{run_timing_sweep, AlgoTiming, TimingPoint, TimingResult};
+pub use timing::{
+    run_timing_sweep, run_timing_sweep_with, AlgoTiming, TimingPoint, TimingResult,
+};

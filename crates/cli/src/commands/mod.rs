@@ -6,6 +6,7 @@ mod evaluate;
 mod generate;
 mod index_cmd;
 mod paper_example;
+mod perf_cmd;
 mod replicate;
 mod simulate;
 mod stats;
@@ -17,6 +18,7 @@ pub use evaluate::run_evaluate;
 pub use generate::run_generate;
 pub use index_cmd::run_index;
 pub use paper_example::run_paper_example;
+pub use perf_cmd::run_perf;
 pub use replicate::run_replicate;
 pub use simulate::run_simulate;
 pub use stats::run_stats;
@@ -55,6 +57,11 @@ pub enum CliError {
         /// What was being checked (corpus replay or a fuzzing run).
         context: String,
     },
+    /// `perf --check` found regressions against the baseline.
+    PerfRegression {
+        /// Number of regressed findings.
+        regressions: usize,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -76,6 +83,11 @@ impl fmt::Display for CliError {
                 f,
                 "conformance failed: {violations} violation(s) ({context}); \
                  see the report above for minimized reproducers"
+            ),
+            CliError::PerfRegression { regressions } => write!(
+                f,
+                "perf check failed: {regressions} regression(s) against the baseline; \
+                 see the comparison above (refresh intentionally with --update-baseline)"
             ),
         }
     }

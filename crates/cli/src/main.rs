@@ -12,6 +12,12 @@
 use dbcast_cli::args::Args;
 use dbcast_cli::commands::{self, CliError};
 
+// Heap traffic is part of the perf contract: installing the counting
+// allocator in the binary makes `dbcast perf` report real per-iteration
+// allocation counts (`allocs_available: true` in BENCH_*.json).
+#[global_allocator]
+static ALLOC: dbcast_perf::CountingAllocator = dbcast_perf::CountingAllocator;
+
 const USAGE: &str = "\
 dbcast — diverse data broadcasting channel allocation (ICDCS 2005 reproduction)
 
@@ -29,6 +35,7 @@ COMMANDS:
     replicate       Greedy replication on top of an allocation
     stats           Run one allocation under telemetry, print metrics JSON
     conformance     Fuzz every allocator against the invariant suite
+    perf            Run the pinned benchmark suite; gate against a baseline
 
 COMMON OPTIONS:
     --db PATH         Load a workload from JSON (otherwise one is generated)
@@ -40,6 +47,8 @@ COMMON OPTIONS:
     --bandwidth B     Size units per second        [default: 10]
     --algo NAME       flat|vfk|greedy|drp|drp-cds|dp|gopt [default: drp-cds]
     --metrics-out P   Write a telemetry snapshot (JSON) to P after the command
+    --trace-out P     Write a Chrome trace (chrome://tracing / Perfetto) of
+                      the command's span tree to P
     --log-level L     error|warn|info|debug|trace  [default: warn]
 
 COMMAND-SPECIFIC:
@@ -57,9 +66,20 @@ COMMAND-SPECIFIC:
                --max-k K      largest generated K      [default: 8]
                --sim-stride S simulator check every S-th case (0 = off)
                --corpus DIR   replay a regression corpus directory first
+    perf:      --iterations N timed iterations per benchmark [default: 10]
+               --warmup W     discarded warmup runs          [default: 2]
+               --filter S     only benchmarks whose name contains S
+               --out PATH     report path [default: BENCH_<gitsha>.json]
+               --baseline P   baseline path [default: BENCH_baseline.json]
+               --check        compare against the baseline; exit 1 on regression
+               --update-baseline  rewrite the baseline from this run
+               --tolerance PCT       wall-time tolerance     [default: 20]
+               --alloc-tolerance PCT allocation tolerance (also disables
+                                     the exact-count requirement)
 
-Telemetry (--metrics-out, stats) records real data only when the binary
-is built with `--features obs`; otherwise the snapshot is empty.
+Telemetry (--metrics-out, stats, perf, --trace-out) records real data only
+when the binary is built with `--features obs`; otherwise snapshots and
+traces are empty.
 ";
 
 fn run() -> Result<(), CliError> {
@@ -90,6 +110,18 @@ fn run() -> Result<(), CliError> {
         }
     }
 
+    let trace_out = args.opt::<String>("trace-out")?;
+    if trace_out.is_some() {
+        dbcast_obs::set_enabled(true);
+        dbcast_obs::tree::set_profiling(true);
+        if !dbcast_obs::enabled() {
+            eprintln!(
+                "warning: built without the `obs` feature; \
+                 the --trace-out trace will be empty"
+            );
+        }
+    }
+
     match args.command() {
         Some("generate") => commands::run_generate(&args, &mut stdout),
         Some("allocate") => commands::run_allocate(&args, &mut stdout),
@@ -101,6 +133,7 @@ fn run() -> Result<(), CliError> {
         Some("replicate") => commands::run_replicate(&args, &mut stdout),
         Some("stats") => commands::run_stats(&args, &mut stdout),
         Some("conformance") => commands::run_conformance(&args, &mut stdout),
+        Some("perf") => commands::run_perf(&args, &mut stdout),
         _ => {
             print!("{USAGE}");
             Ok(())
@@ -109,6 +142,10 @@ fn run() -> Result<(), CliError> {
 
     if let Some(path) = metrics_out {
         dbcast_obs::snapshot::write_global(std::path::Path::new(&path))?;
+    }
+    if let Some(path) = trace_out {
+        let spans = dbcast_obs::tree::take_spans();
+        dbcast_obs::tree::write_chrome_trace(std::path::Path::new(&path), &spans)?;
     }
     Ok(())
 }

@@ -76,6 +76,7 @@ impl InstanceGenerator {
     /// Generates case number `case` of this run. Pure: the same
     /// `(config, case)` always yields the same instance.
     pub fn instance(&self, case: u64) -> Instance {
+        let _span = dbcast_obs::span!("conformance.generate_case");
         let mut rng = ChaCha8Rng::seed_from_u64(mix(self.cfg.seed, case));
         // Common shapes dominate; each degenerate shape keeps a steady
         // share so even short runs cover every one of them.

@@ -1,7 +1,9 @@
 //! `dbcast-obs`: a zero-dependency telemetry layer for the dbcast
 //! workspace — monotonic counters, gauges, log-scale histograms with
-//! lock-free recording, RAII span timers, structured convergence
-//! traces, a leveled logger and a JSON snapshot exporter.
+//! lock-free recording, RAII span timers, hierarchical span trees
+//! with self-time attribution and Chrome trace-event export
+//! ([`tree`]), structured convergence traces, a leveled logger and a
+//! JSON snapshot exporter.
 //!
 //! # Enabling
 //!
@@ -30,6 +32,7 @@ pub mod metrics;
 pub mod snapshot;
 pub mod span;
 pub mod trace;
+pub mod tree;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};

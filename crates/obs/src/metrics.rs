@@ -115,6 +115,14 @@ pub fn bucket_upper_bound(i: usize) -> u64 {
     }
 }
 
+/// Smallest value stored in bucket `i` (inclusive lower bound).
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
 impl Histogram {
     pub(crate) fn new() -> Self {
         Histogram {
@@ -176,25 +184,57 @@ impl Histogram {
     /// count reaches `q%` of observations, clamped to the observed
     /// min/max. `None` when empty.
     ///
+    /// **Caution:** because the buckets are powers of two, the upper
+    /// bound can overstate the true percentile by up to 2× (the full
+    /// bucket width) — e.g. a p95 that truly sits at 520 ns reports as
+    /// 1023 ns. Use [`percentile_bounds`](Self::percentile_bounds) for
+    /// the honest `(lo, hi)` interval, or
+    /// [`percentile_midpoint`](Self::percentile_midpoint) for a
+    /// centered point estimate (what snapshots report).
+    ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 100]`.
     pub fn percentile(&self, q: f64) -> Option<u64> {
+        self.percentile_bounds(q).map(|(_, hi)| hi)
+    }
+
+    /// The `(lo, hi)` inclusive bounds of the bucket containing the
+    /// `q`-th percentile, clamped to the observed min/max — the true
+    /// percentile is guaranteed to lie within. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 100]`.
+    pub fn percentile_bounds(&self, q: f64) -> Option<(u64, u64)> {
         assert!((0.0..=100.0).contains(&q), "percentile out of range: {q}");
         let n = self.count();
         if n == 0 {
             return None;
         }
+        let (min, max) = (self.min()?, self.max()?);
         let target = ((q / 100.0) * n as f64).ceil().max(1.0) as u64;
         let mut cumulative = 0u64;
         for i in 0..BUCKETS {
             cumulative += self.buckets[i].load(Ordering::Relaxed);
             if cumulative >= target {
-                let ub = bucket_upper_bound(i);
-                return Some(ub.clamp(self.min()?, self.max()?));
+                let lo = bucket_lower_bound(i).clamp(min, max);
+                let hi = bucket_upper_bound(i).clamp(min, max);
+                return Some((lo, hi));
             }
         }
-        self.max()
+        Some((max, max))
+    }
+
+    /// Midpoint of [`percentile_bounds`](Self::percentile_bounds): a
+    /// centered estimate whose error is at most half the bucket width,
+    /// where the raw upper bound can be pessimistic by the full width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 100]`.
+    pub fn percentile_midpoint(&self, q: f64) -> Option<u64> {
+        self.percentile_bounds(q).map(|(lo, hi)| lo + (hi - lo) / 2)
     }
 
     /// Copies the non-empty buckets as `(upper_bound, count)` pairs.
@@ -207,7 +247,10 @@ impl Histogram {
             .collect()
     }
 
-    /// Freezes the current state into a plain-data snapshot.
+    /// Freezes the current state into a plain-data snapshot. The
+    /// percentile fields are bucket **midpoints**
+    /// ([`percentile_midpoint`](Self::percentile_midpoint)), not the
+    /// pessimistic bucket upper bounds.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             count: self.count(),
@@ -215,10 +258,10 @@ impl Histogram {
             mean: self.mean().unwrap_or(0.0),
             min: self.min().unwrap_or(0),
             max: self.max().unwrap_or(0),
-            p50: self.percentile(50.0).unwrap_or(0),
-            p90: self.percentile(90.0).unwrap_or(0),
-            p95: self.percentile(95.0).unwrap_or(0),
-            p99: self.percentile(99.0).unwrap_or(0),
+            p50: self.percentile_midpoint(50.0).unwrap_or(0),
+            p90: self.percentile_midpoint(90.0).unwrap_or(0),
+            p95: self.percentile_midpoint(95.0).unwrap_or(0),
+            p99: self.percentile_midpoint(99.0).unwrap_or(0),
             buckets: self.nonzero_buckets(),
         }
     }
@@ -234,7 +277,9 @@ impl Histogram {
     }
 }
 
-/// Plain-data copy of a [`Histogram`], used by snapshots.
+/// Plain-data copy of a [`Histogram`], used by snapshots. The `p*`
+/// fields are bucket-midpoint estimates (schema v2; v1 reported the
+/// bucket upper bound, overstating by up to 2×).
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSnapshot {
     pub count: u64,
@@ -307,9 +352,54 @@ mod tests {
     fn empty_histogram_yields_none() {
         let h = Histogram::new();
         assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.percentile_bounds(50.0), None);
+        assert_eq!(h.percentile_midpoint(50.0), None);
         assert_eq!(h.mean(), None);
         assert_eq!(h.min(), None);
         assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn percentile_upper_bound_can_overstate_but_bounds_bracket_the_truth() {
+        // Two observations, 520 and 1000, both in bucket [512, 1023].
+        // The true p50 is 520; the raw upper-bound estimate reports
+        // max-clamped 1000 — nearly 2× pessimistic — while the bounds
+        // bracket the truth and the midpoint halves the error.
+        let h = Histogram::new();
+        h.force_record(520);
+        h.force_record(1000);
+        assert_eq!(h.percentile(50.0), Some(1000));
+        assert_eq!(h.percentile_bounds(50.0), Some((520, 1000)));
+        assert_eq!(h.percentile_midpoint(50.0), Some(760));
+        // Snapshots report the midpoint, not the upper bound.
+        assert_eq!(h.snapshot().p50, 760);
+    }
+
+    #[test]
+    fn percentile_bounds_stay_within_observed_range() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.force_record(v);
+        }
+        for q in [0.0, 50.0, 90.0, 99.0, 100.0] {
+            let (lo, hi) = h.percentile_bounds(q).unwrap();
+            assert!(lo <= hi, "q={q}: lo {lo} > hi {hi}");
+            assert!(lo >= 1 && hi <= 1000, "q={q}: ({lo}, {hi}) escapes [1, 1000]");
+            let mid = h.percentile_midpoint(q).unwrap();
+            assert!((lo..=hi).contains(&mid));
+        }
+        // p50 of 1..=1000 is 500, inside bucket [256, 511].
+        assert_eq!(h.percentile_bounds(50.0), Some((256, 511)));
+    }
+
+    #[test]
+    fn bucket_lower_bounds_match_indexing() {
+        assert_eq!(bucket_lower_bound(0), 0);
+        assert_eq!(bucket_lower_bound(1), 1);
+        for i in 1..=64 {
+            assert_eq!(bucket_index(bucket_lower_bound(i)), i);
+            assert!(bucket_lower_bound(i) <= bucket_upper_bound(i));
+        }
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! Point-in-time snapshots of the registry, exportable as JSON.
 //!
 //! The writer is self-contained (the telemetry layer carries no
-//! dependencies, not even the workspace serde shim). Schema, version 1:
+//! dependencies, not even the workspace serde shim). Schema, version 2
+//! (v2 changed the histogram `p50`/`p90`/`p95`/`p99` fields from
+//! bucket upper bounds — pessimistic by up to 2× — to bucket
+//! midpoints; see `Histogram::percentile_bounds`):
 //!
 //! ```json
 //! {
-//!   "version": 1,
+//!   "version": 2,
 //!   "counters": { "<name>": <u64>, ... },
 //!   "gauges": { "<name>": <f64>, ... },
 //!   "histograms": {
@@ -63,7 +66,7 @@ impl Snapshot {
     /// Renders the snapshot as pretty-printed JSON.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
-        out.push_str("{\n  \"version\": 1,\n  \"counters\": {");
+        out.push_str("{\n  \"version\": 2,\n  \"counters\": {");
         for (i, (name, v)) in self.counters.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -184,7 +187,7 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -257,7 +260,7 @@ mod tests {
     fn json_contains_all_sections() {
         let j = sample().to_json();
         for needle in [
-            "\"version\": 1",
+            "\"version\": 2",
             "\"a.b.c\": 3",
             "\"g\": 1.5",
             "\"count\": 2",
@@ -294,7 +297,7 @@ mod tests {
         let path = dir.join("nested").join("metrics.json");
         sample().write_json(&path).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
-        assert!(body.contains("\"version\": 1"));
+        assert!(body.contains("\"version\": 2"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

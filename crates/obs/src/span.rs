@@ -22,6 +22,10 @@ pub fn current_stack() -> Vec<&'static str> {
 #[must_use = "dropping the guard immediately records a zero-length span"]
 pub struct SpanGuard {
     active: Option<(&'static Histogram, Instant)>,
+    /// Tree-node handle when span-tree profiling is on
+    /// ([`crate::tree::set_profiling`]); `None` in the common
+    /// histogram-only case.
+    node: Option<usize>,
 }
 
 impl SpanGuard {
@@ -30,10 +34,11 @@ impl SpanGuard {
     /// clock.
     pub fn enter(name: &'static str, histogram: &'static Histogram) -> Self {
         if !crate::enabled() {
-            return SpanGuard { active: None };
+            return SpanGuard { active: None, node: None };
         }
         SPAN_STACK.with(|s| s.borrow_mut().push(name));
-        SpanGuard { active: Some((histogram, Instant::now())) }
+        let node = crate::tree::open_span(name);
+        SpanGuard { active: Some((histogram, Instant::now())), node }
     }
 }
 
@@ -44,6 +49,9 @@ impl Drop for SpanGuard {
             // force_record: the span was live when opened; a mid-span
             // toggle must not unbalance the stack or lose the sample.
             histogram.force_record(nanos);
+            if let Some(idx) = self.node.take() {
+                crate::tree::close_span(idx);
+            }
             SPAN_STACK.with(|s| {
                 s.borrow_mut().pop();
             });

@@ -165,8 +165,11 @@ impl<'a> Simulation<'a> {
         let _span = dbcast_obs::span!("sim.engine.run");
         let bandwidth = self.program.bandwidth();
         let mut queue = EventQueue::new();
-        for (i, r) in self.trace.iter().enumerate() {
-            queue.schedule(r.time, Event::Arrival { request: i, item: r.item });
+        {
+            let _schedule = dbcast_obs::span!("sim.engine.schedule");
+            for (i, r) in self.trace.iter().enumerate() {
+                queue.schedule(r.time, Event::Arrival { request: i, item: r.item });
+            }
         }
 
         #[derive(Clone, Copy)]
@@ -186,6 +189,7 @@ impl<'a> Simulation<'a> {
         let mut channel_loads = vec![ChannelLoad::default(); self.program.channels().len()];
         let mut events_processed = 0u64;
 
+        let _event_loop = dbcast_obs::span!("sim.engine.event_loop");
         while let Some((now, event)) = queue.pop() {
             events_processed += 1;
             if dbcast_obs::enabled() {

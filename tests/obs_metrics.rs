@@ -67,7 +67,7 @@ fn snapshot_captures_drp_cds_and_gopt_telemetry() {
     // The JSON export carries everything above.
     let json = snap.to_json();
     for needle in
-        ["alloc.drp.split_scan", "alloc.cds.iterations", "baselines.gopt", "\"version\": 1"]
+        ["alloc.drp.split_scan", "alloc.cds.iterations", "baselines.gopt", "\"version\": 2"]
     {
         assert!(json.contains(needle), "snapshot JSON missing {needle}");
     }

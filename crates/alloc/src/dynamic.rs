@@ -46,6 +46,46 @@ pub struct RepairStats {
     pub reduction: f64,
 }
 
+/// The typed result of one bounded repair pass.
+///
+/// A repair either *converges* (no single-item move improves the cost —
+/// the assignment is a CDS local optimum) or *exhausts its budget* with
+/// improving moves still on the table. Callers that previously assumed
+/// "repair ran" meant "local optimum reached" can now tell the two
+/// apart; a budget-exhausted repair leaves cost on the floor that a
+/// follow-up pass (or a full re-optimization) could still claim.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RepairOutcome {
+    /// The repair reached a local optimum within its budget.
+    Converged(RepairStats),
+    /// The move budget ran out with at least one improving move left.
+    BudgetExhausted {
+        /// What the truncated repair still achieved.
+        stats: RepairStats,
+        /// The cost reduction of the best single move still available —
+        /// a lower bound on the further gain a continued repair would
+        /// realize (the true remaining gain can only be larger, since
+        /// steepest descent compounds).
+        remaining_gain_bound: f64,
+    },
+}
+
+impl RepairOutcome {
+    /// The stats of the moves that were applied, whichever way the
+    /// repair ended.
+    pub fn stats(&self) -> RepairStats {
+        match *self {
+            RepairOutcome::Converged(stats) => stats,
+            RepairOutcome::BudgetExhausted { stats, .. } => stats,
+        }
+    }
+
+    /// Whether the repair reached a local optimum.
+    pub fn converged(&self) -> bool {
+        matches!(self, RepairOutcome::Converged(_))
+    }
+}
+
 /// Errors from dynamic maintenance.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -236,7 +276,7 @@ impl DynamicBroadcast {
     /// # Errors
     ///
     /// [`DynamicError::UnknownHandle`].
-    pub fn remove(&mut self, handle: ItemHandle) -> Result<RepairStats, DynamicError> {
+    pub fn remove(&mut self, handle: ItemHandle) -> Result<RepairOutcome, DynamicError> {
         let (w, z, ch) =
             self.items.remove(&handle).ok_or(DynamicError::UnknownHandle(handle))?;
         self.freq[ch] -= w;
@@ -254,7 +294,7 @@ impl DynamicBroadcast {
         &mut self,
         handle: ItemHandle,
         weight: f64,
-    ) -> Result<RepairStats, DynamicError> {
+    ) -> Result<RepairOutcome, DynamicError> {
         Self::validate_feature("weight", weight)?;
         let entry =
             self.items.get_mut(&handle).ok_or(DynamicError::UnknownHandle(handle))?;
@@ -265,29 +305,41 @@ impl DynamicBroadcast {
         Ok(self.repair())
     }
 
-    /// Runs bounded steepest-descent repair (at most the configured
-    /// budget of moves); returns what it did.
-    pub fn repair(&mut self) -> RepairStats {
-        let _span = dbcast_obs::span!("alloc.dynamic.repair");
-        let mut stats = RepairStats::default();
-        for _ in 0..self.repair_budget {
-            // Best single move across the catalogue (CDS step over raw
-            // weights).
-            let mut best: Option<(ItemHandle, usize, f64)> = None;
-            for (&h, &(w, z, p)) in &self.items {
-                for q in 0..self.channels {
-                    if q == p {
-                        continue;
-                    }
-                    let delta = w * (self.size[p] - self.size[q])
-                        + z * (self.freq[p] - self.freq[q])
-                        - 2.0 * w * z;
-                    if delta > 1e-12 && best.is_none_or(|(_, _, d)| delta > d) {
-                        best = Some((h, q, delta));
-                    }
+    /// Best single move across the catalogue (CDS step over raw
+    /// weights), or `None` at a local optimum.
+    fn best_move(&self) -> Option<(ItemHandle, usize, f64)> {
+        let mut best: Option<(ItemHandle, usize, f64)> = None;
+        for (&h, &(w, z, p)) in &self.items {
+            for q in 0..self.channels {
+                if q == p {
+                    continue;
+                }
+                let delta = w * (self.size[p] - self.size[q])
+                    + z * (self.freq[p] - self.freq[q])
+                    - 2.0 * w * z;
+                if delta > 1e-12 && best.is_none_or(|(_, _, d)| delta > d) {
+                    best = Some((h, q, delta));
                 }
             }
-            match best {
+        }
+        best
+    }
+
+    /// Runs bounded steepest-descent repair (at most the configured
+    /// budget of moves); says whether it converged or ran out of budget
+    /// with improving moves still available.
+    pub fn repair(&mut self) -> RepairOutcome {
+        let _span = dbcast_obs::span!("alloc.dynamic.repair");
+        let mut stats = RepairStats::default();
+        let outcome = loop {
+            match self.best_move() {
+                None => break RepairOutcome::Converged(stats),
+                Some((_, _, delta)) if stats.moves >= self.repair_budget => {
+                    break RepairOutcome::BudgetExhausted {
+                        stats,
+                        remaining_gain_bound: delta,
+                    };
+                }
                 Some((h, q, delta)) => {
                     let entry = self.items.get_mut(&h).expect("handle from scan");
                     let (w, z, p) = *entry;
@@ -299,11 +351,13 @@ impl DynamicBroadcast {
                     stats.moves += 1;
                     stats.reduction += delta;
                 }
-                None => break,
             }
-        }
+        };
         dbcast_obs::counter!("alloc.dynamic.repair_moves").add(stats.moves as u64);
-        stats
+        if !outcome.converged() {
+            dbcast_obs::counter!("alloc.dynamic.budget_exhausted").inc();
+        }
+        outcome
     }
 
     /// Materializes the current state as a normalized [`Database`] plus
@@ -430,9 +484,37 @@ mod tests {
         let before_cost = live.cost();
         live.update_weight(spiker, 200.0).unwrap();
         // Repair ran; the maintained state should be a local optimum:
-        let stats = live.repair();
-        assert_eq!(stats.moves, 0, "second repair should find nothing");
+        let outcome = live.repair();
+        assert!(outcome.converged());
+        assert_eq!(outcome.stats().moves, 0, "second repair should find nothing");
         assert!(live.cost() > before_cost); // spike raises cost overall
+    }
+
+    #[test]
+    fn exhausted_budget_is_reported_with_a_gain_bound() {
+        // Budget 0: any improving move at all must surface as
+        // BudgetExhausted with a positive remaining-gain bound.
+        let mut live = DynamicBroadcast::new(2).with_repair_budget(0);
+        // Two heavy items forced onto the same channel leave an obvious
+        // improving move (shift one to the empty channel).
+        live.insert_on(100.0, 10.0, 0);
+        live.insert_on(100.0, 10.0, 0);
+        let outcome = live.repair();
+        match outcome {
+            RepairOutcome::BudgetExhausted { stats, remaining_gain_bound } => {
+                assert_eq!(stats.moves, 0);
+                assert!(remaining_gain_bound > 0.0);
+            }
+            RepairOutcome::Converged(_) => panic!("expected budget exhaustion"),
+        }
+        // A generous budget on the same state converges and realizes at
+        // least the bound that was promised.
+        let before = live.cost();
+        let mut live = live.with_repair_budget(16);
+        let finished = live.repair();
+        assert!(finished.converged());
+        assert!(finished.stats().reduction >= 0.0);
+        assert!(live.cost() <= before);
     }
 
     #[test]

@@ -43,6 +43,6 @@ mod pipeline;
 
 pub use cds::{Cds, CdsOutcome, CdsStep};
 pub use drp::{Drp, DrpIteration, DrpOutcome, GroupSnapshot, SplitPriority};
-pub use dynamic::{DynamicBroadcast, DynamicError, ItemHandle, RepairStats};
+pub use dynamic::{DynamicBroadcast, DynamicError, ItemHandle, RepairOutcome, RepairStats};
 pub use partition::{best_split, SplitPoint};
 pub use pipeline::{DrpCds, DrpCdsOutcome};

@@ -8,6 +8,7 @@ mod index_cmd;
 mod paper_example;
 mod perf_cmd;
 mod replicate;
+mod serve_cmd;
 mod simulate;
 mod stats;
 mod sweep;
@@ -20,6 +21,7 @@ pub use index_cmd::run_index;
 pub use paper_example::run_paper_example;
 pub use perf_cmd::run_perf;
 pub use replicate::run_replicate;
+pub use serve_cmd::run_serve;
 pub use simulate::run_simulate;
 pub use stats::run_stats;
 pub use sweep::run_sweep_cmd;
@@ -48,6 +50,8 @@ pub enum CliError {
     InvalidOption(String),
     /// Simulation failure.
     Sim(dbcast_sim::SimError),
+    /// Serving-runtime failure.
+    Serve(dbcast_serve::ServeError),
     /// Filesystem failure.
     Io(std::io::Error),
     /// The conformance harness found invariant violations.
@@ -78,6 +82,7 @@ impl fmt::Display for CliError {
             ),
             CliError::InvalidOption(msg) => write!(f, "invalid option: {msg}"),
             CliError::Sim(e) => write!(f, "{e}"),
+            CliError::Serve(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "{e}"),
             CliError::Conformance { violations, context } => write!(
                 f,
@@ -122,6 +127,12 @@ impl From<AllocError> for CliError {
 impl From<dbcast_sim::SimError> for CliError {
     fn from(e: dbcast_sim::SimError) -> Self {
         CliError::Sim(e)
+    }
+}
+
+impl From<dbcast_serve::ServeError> for CliError {
+    fn from(e: dbcast_serve::ServeError) -> Self {
+        CliError::Serve(e)
     }
 }
 

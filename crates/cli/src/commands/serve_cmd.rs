@@ -1,0 +1,157 @@
+//! `dbcast serve` — run the online serving runtime over a request
+//! stream with live workload estimation and hot program swap.
+
+use dbcast_serve::{
+    poisson_trace, shifted_trace, shifted_workload, DriftDetector, EstimatorConfig,
+    RepairMode, ServeConfig, ServeRuntime, WorkerMode,
+};
+use dbcast_workload::RequestTrace;
+
+use crate::args::Args;
+use crate::commands::CliError;
+
+/// Drives [`ServeRuntime`] over either a replayed trace (`--replay
+/// PATH`) or a synthetic Poisson stream (`--poisson RATE`, optionally
+/// with a mid-stream Zipf shift via `--shift-at FRAC`), and reports the
+/// closed-loop outcome: drift events, hot swaps, per-generation waiting
+/// times and costs.
+///
+/// Options: `--channels K`, `--bandwidth B`, `--requests R`,
+/// `--drift-threshold D`, `--min-observations M`, `--repair
+/// full|budgeted`, `--budget MOVES`, `--decay A`, `--ticks T`,
+/// `--shift-at FRAC`, `--shift-theta X`, `--shift-rotation N`,
+/// `--save-trace PATH`, `--seed S`, `--deterministic`, `--json`.
+///
+/// # Errors
+///
+/// Infeasible instances, trace I/O failures, invalid option domains.
+pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
+    let db = crate::commands::load_or_generate(args)?;
+    let channels = args.opt_or("channels", 6usize)?;
+    let bandwidth = args.opt_or("bandwidth", 10.0f64)?;
+    let seed = args.opt_or("seed", 0u64)?;
+
+    let trace = build_stream(args, &db, seed)?;
+    if let Some(path) = args.opt::<String>("save-trace")? {
+        dbcast_workload::save_trace(&trace, path)?;
+    }
+
+    let repair = match args.opt_or("repair", "full".to_string())?.as_str() {
+        "full" => RepairMode::Full,
+        "budgeted" => RepairMode::Budgeted { budget: args.opt_or("budget", 32usize)? },
+        other => {
+            return Err(CliError::InvalidOption(format!(
+                "--repair {other:?}; expected full or budgeted"
+            )))
+        }
+    };
+    let decay = args.opt_or("decay", 0.98f64)?;
+    if !(0.0..=1.0).contains(&decay) {
+        return Err(CliError::InvalidOption(format!("--decay {decay} not in [0, 1]")));
+    }
+    let config = ServeConfig {
+        channels,
+        bandwidth,
+        estimator: EstimatorConfig { decay, seed, ..EstimatorConfig::default() },
+        detector: DriftDetector {
+            threshold: args.opt_or("drift-threshold", 0.25f64)?,
+            min_observations: args.opt_or("min-observations", 200u64)?,
+        },
+        repair,
+        worker: if args.switch("deterministic") {
+            WorkerMode::Deterministic
+        } else {
+            WorkerMode::Threaded
+        },
+        max_ticks: args.opt::<u64>("ticks")?,
+    };
+
+    let runtime = ServeRuntime::new(&db, config)?;
+    let report = runtime.run(&trace)?;
+
+    if args.switch("json") {
+        serde_json::to_writer_pretty(&mut *out, &report)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        writeln!(out)?;
+        return Ok(());
+    }
+
+    writeln!(out, "requests served: {}", report.requests)?;
+    writeln!(out, "dropped: {}, unserved (tick cap): {}", report.dropped, report.unserved)?;
+    writeln!(
+        out,
+        "ticks: {}, drift events: {}, hot swaps: {}",
+        report.ticks, report.drift_events, report.swaps
+    )?;
+    writeln!(
+        out,
+        "waiting: mean {:.4} s, p95 {:.4} s",
+        report.waiting.mean(),
+        report.waiting.percentile(95.0).unwrap_or(0.0)
+    )?;
+    for g in &report.generations {
+        let repair = match &g.repair {
+            None => String::from("initial DRP-CDS"),
+            Some(r) => format!(
+                "{} repair, {} move(s){}, {:.2} ms",
+                r.mode,
+                r.moves,
+                if r.budget_exhausted {
+                    format!(" [budget exhausted, ≥{:.4} gain left]", r.remaining_gain_bound)
+                } else {
+                    String::new()
+                },
+                r.wall_ns as f64 / 1e6
+            ),
+        };
+        writeln!(
+            out,
+            "generation {}: installed t={:.2}s (tick {}), {} request(s), \
+             mean wait {:.4} s, cost {:.4} — {}",
+            g.generation,
+            g.installed_at,
+            g.installed_tick,
+            g.requests,
+            g.waiting.mean(),
+            g.cost,
+            repair
+        )?;
+        if let (Some(d), Some(l)) = (g.drift_at_dispatch, g.swap_latency) {
+            writeln!(
+                out,
+                "  drift L1 {:.4} at dispatch; swap latency {:.2} virtual s",
+                d, l
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Builds the request stream: `--replay PATH` wins; otherwise a Poisson
+/// stream over the workload, with an optional mid-stream Zipf shift.
+fn build_stream(
+    args: &Args,
+    db: &dbcast_model::Database,
+    seed: u64,
+) -> Result<RequestTrace, CliError> {
+    if let Some(path) = args.opt::<String>("replay")? {
+        return Ok(dbcast_workload::load_trace(path)?);
+    }
+    let rate = args.opt_or("poisson", 10.0f64)?;
+    let requests = args.opt_or("requests", 10_000usize)?;
+    match args.opt::<f64>("shift-at")? {
+        None => Ok(poisson_trace(db, rate, requests, seed)?),
+        Some(frac) => {
+            if !(0.0..1.0).contains(&frac) {
+                return Err(CliError::InvalidOption(format!(
+                    "--shift-at {frac} not in [0, 1)"
+                )));
+            }
+            let theta = args.opt_or("shift-theta", 1.2f64)?;
+            let rotation = args.opt_or("shift-rotation", db.len() / 2)?;
+            let post = shifted_workload(db, theta, rotation)?;
+            let pre_requests = (requests as f64 * frac).round() as usize;
+            Ok(shifted_trace(db, &post, pre_requests, requests - pre_requests, rate, seed)?)
+        }
+    }
+}

@@ -29,6 +29,8 @@ COMMANDS:
     allocate        Allocate a database onto K channels with one algorithm
     evaluate        Compare all algorithms on one workload
     simulate        Run the discrete-event broadcast simulator
+    serve           Online serving: estimate the workload live, detect
+                    drift, re-allocate and hot-swap the program
     paper-example   Replay the paper's Tables 2-4 worked example
     sweep           Run one of the paper's parameter sweeps
     index           (1, m) air-indexing report (access/tuning/energy)
@@ -57,6 +59,20 @@ COMMAND-SPECIFIC:
     simulate:  --requests R   number of requests   [default: 10000]
                --rate L       arrivals per second  [default: 10]
     paper-example: --trace    print every DRP/CDS iteration
+    serve:     --replay PATH  replay a saved request trace (JSON)
+               --poisson L    synthetic arrivals per second   [default: 10]
+               --requests R   synthetic stream length         [default: 10000]
+               --shift-at F   inject a Zipf shift after fraction F of the
+                              stream (with --shift-theta X, --shift-rotation N)
+               --drift-threshold D   L1 drift trigger         [default: 0.25]
+               --min-observations M  warm-up guard            [default: 200]
+               --repair MODE  full | budgeted                 [default: full]
+               --budget N     CDS moves per budgeted repair   [default: 32]
+               --decay A      EWMA decay per virtual second   [default: 0.98]
+               --ticks T      stop after T ticks
+               --save-trace P archive the synthesized stream for --replay
+               --deterministic   inline re-allocation (seed-replayable)
+               --json         emit the full serve report as JSON
     sweep:     --axis A       k | n | phi | theta  [default: k]
                --seeds S      average over S seeds
                --quick        3 seeds instead of 20
@@ -127,6 +143,7 @@ fn run() -> Result<(), CliError> {
         Some("allocate") => commands::run_allocate(&args, &mut stdout),
         Some("evaluate") => commands::run_evaluate(&args, &mut stdout),
         Some("simulate") => commands::run_simulate(&args, &mut stdout),
+        Some("serve") => commands::run_serve(&args, &mut stdout),
         Some("paper-example") => commands::run_paper_example(&args, &mut stdout),
         Some("sweep") => commands::run_sweep_cmd(&args, &mut stdout),
         Some("index") => commands::run_index(&args, &mut stdout),

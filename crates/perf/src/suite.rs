@@ -11,6 +11,7 @@ use dbcast_alloc::{Cds, Drp, DrpCds};
 use dbcast_baselines::{Gopt, GoptConfig, Vfk};
 use dbcast_conformance::{GeneratorConfig, InstanceGenerator};
 use dbcast_model::{BroadcastProgram, ChannelAllocator, Database};
+use dbcast_serve::{DriftDetector, ServeConfig, ServeRuntime, WorkerMode};
 use dbcast_sim::Simulation;
 use dbcast_workload::{SizeDistribution, TraceBuilder, WorkloadBuilder};
 
@@ -136,6 +137,47 @@ pub fn standard_suite() -> Vec<Benchmark> {
         }
     }));
 
+    // The serving runtime's steady state: 4000 requests through the
+    // closed loop with a drift threshold high enough that no swap
+    // fires — measures estimator + drift-check + analytical serving
+    // throughput (requests per second of wall time).
+    let serve_trace =
+        dbcast_serve::poisson_trace(&db, 50.0, 4_000, 44).expect("valid trace parameters");
+    suite.push(Benchmark::new("serve_loop", {
+        let db = db.clone();
+        let trace = serve_trace.clone();
+        move || {
+            let config = ServeConfig {
+                detector: DriftDetector { threshold: 10.0, min_observations: u64::MAX },
+                worker: WorkerMode::Deterministic,
+                ..ServeConfig::default()
+            };
+            let runtime = ServeRuntime::new(&db, config).expect("feasible");
+            black_box(runtime.run(&trace).expect("trace is servable"));
+        }
+    }));
+
+    // Hot-swap latency: a mid-stream Zipf shift forces drift-triggered
+    // full re-allocations and program swaps; the dominant cost is the
+    // DRP-CDS re-run plus program rebuild per swap.
+    let post = dbcast_serve::shifted_workload(&db, 1.2, 60).expect("valid shift");
+    let swap_trace = dbcast_serve::shifted_trace(&db, &post, 1_500, 2_500, 50.0, 44)
+        .expect("valid trace parameters");
+    suite.push(Benchmark::new("serve_swap", {
+        let db = db.clone();
+        move || {
+            let config = ServeConfig {
+                detector: DriftDetector { threshold: 0.25, min_observations: 200 },
+                worker: WorkerMode::Deterministic,
+                ..ServeConfig::default()
+            };
+            let runtime = ServeRuntime::new(&db, config).expect("feasible");
+            let report = runtime.run(&swap_trace).expect("trace is servable");
+            assert!(report.swaps >= 1, "swap benchmark must actually swap");
+            black_box(report);
+        }
+    }));
+
     suite
 }
 
@@ -149,7 +191,17 @@ mod tests {
         let names: Vec<&str> = suite.iter().map(Benchmark::name).collect();
         assert_eq!(
             names,
-            ["drp", "cds", "drp_cds", "vfk", "gopt_small", "sim_engine", "conformance_gen"]
+            [
+                "drp",
+                "cds",
+                "drp_cds",
+                "vfk",
+                "gopt_small",
+                "sim_engine",
+                "conformance_gen",
+                "serve_loop",
+                "serve_swap"
+            ]
         );
     }
 

@@ -1,0 +1,100 @@
+//! Workload drift detection: when does the live request distribution
+//! diverge far enough from the one the broadcast program was optimized
+//! for that re-allocating is worth it?
+//!
+//! The detector compares the estimator's frequency vector against the
+//! *serving* frequency vector (the profile the current program
+//! generation was built from) under the L1 (total-variation ×2)
+//! distance. L1 is the natural choice here: the Eq. 3 cost is linear in
+//! the per-item frequencies, so an L1 perturbation of `ε` moves the
+//! serving cost of a fixed allocation by at most `ε · max_i Z_i` — the
+//! threshold bounds the cost error tolerated before repair.
+
+use serde::{Deserialize, Serialize};
+
+/// L1 distance between two frequency vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "frequency vectors must cover the same catalogue");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// A thresholded drift detector with a warm-up guard.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftDetector {
+    /// L1 distance at which drift is declared.
+    pub threshold: f64,
+    /// Minimum requests the estimator must have seen since the last
+    /// swap before drift can trigger again — guards against declaring
+    /// drift off a handful of arrivals (and against swap thrash while
+    /// the estimator is still dominated by pre-swap history).
+    pub min_observations: u64,
+}
+
+impl Default for DriftDetector {
+    fn default() -> Self {
+        DriftDetector { threshold: 0.25, min_observations: 200 }
+    }
+}
+
+impl DriftDetector {
+    /// Evaluates one check: the measured L1 distance plus the verdict.
+    pub fn check(&self, estimated: &[f64], serving: &[f64], observations: u64) -> Drift {
+        let distance = l1_distance(estimated, serving);
+        Drift {
+            distance,
+            drifted: observations >= self.min_observations && distance > self.threshold,
+        }
+    }
+}
+
+/// One drift measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Drift {
+    /// The L1 distance between estimated and serving frequencies.
+    pub distance: f64,
+    /// Whether the detector declared drift.
+    pub drifted: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_of_identical_vectors_is_zero() {
+        let v = [0.5, 0.3, 0.2];
+        assert_eq!(l1_distance(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn l1_of_disjoint_distributions_is_two() {
+        assert!((l1_distance(&[1.0, 0.0], &[0.0, 1.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warmup_suppresses_drift() {
+        let det = DriftDetector { threshold: 0.1, min_observations: 100 };
+        let a = [0.9, 0.1];
+        let b = [0.1, 0.9];
+        assert!(!det.check(&a, &b, 99).drifted);
+        assert!(det.check(&a, &b, 100).drifted);
+    }
+
+    #[test]
+    fn below_threshold_is_quiet() {
+        let det = DriftDetector { threshold: 0.5, min_observations: 0 };
+        let drift = det.check(&[0.6, 0.4], &[0.5, 0.5], 1_000);
+        assert!(!drift.drifted);
+        assert!((drift.distance - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same catalogue")]
+    fn mismatched_lengths_panic() {
+        let _ = l1_distance(&[1.0], &[0.5, 0.5]);
+    }
+}

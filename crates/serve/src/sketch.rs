@@ -1,0 +1,225 @@
+//! A count-min sketch with EWMA decay: sub-linear-memory frequency
+//! estimation over the live request stream.
+//!
+//! The classic count-min sketch (Cormode & Muthukrishnan) answers point
+//! queries with a one-sided error: the estimate never undercounts, and
+//! overcounts by at most `e/width · total` with probability
+//! `1 - exp(-depth)`. Here the counters are `f64` and every row decays
+//! multiplicatively, turning raw counts into an exponentially weighted
+//! moving average — recent requests dominate, so the estimate tracks a
+//! *drifting* popularity distribution instead of its all-time history.
+//!
+//! Hashing is deterministic (multiply-shift with fixed odd constants
+//! derived from a seed), so a replayed request stream reproduces the
+//! sketch state bit for bit on every platform.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed odd multipliers are derived from the seed by SplitMix64 — the
+/// standard way to expand one seed into independent hash parameters.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A count-min sketch over `u64` keys with multiplicative (EWMA) decay.
+///
+/// # Example
+///
+/// ```
+/// use dbcast_serve::CountMinSketch;
+///
+/// let mut sketch = CountMinSketch::new(64, 4, 7);
+/// for _ in 0..10 {
+///     sketch.record(3);
+/// }
+/// sketch.record(5);
+/// // Point queries never undercount.
+/// assert!(sketch.estimate(3) >= 10.0);
+/// assert!(sketch.estimate(5) >= 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    seed: u64,
+    /// Per-row odd multipliers for multiply-shift hashing.
+    multipliers: Vec<u64>,
+    /// `depth` rows of `width` counters, flattened row-major.
+    counters: Vec<f64>,
+    /// Total (decayed) mass recorded, i.e. the EWMA of the stream length.
+    total: f64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch of `width` counters per row and `depth` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `depth` is zero.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width > 0, "sketch width must be positive");
+        assert!(depth > 0, "sketch depth must be positive");
+        let mut state = seed ^ 0x6388_9652_5716_ff2b;
+        let multipliers = (0..depth).map(|_| splitmix64(&mut state) | 1).collect();
+        CountMinSketch {
+            width,
+            depth,
+            seed,
+            multipliers,
+            counters: vec![0.0; width * depth],
+            total: 0.0,
+        }
+    }
+
+    /// Counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of hash rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The (decayed) total mass recorded so far.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    fn bucket(&self, row: usize, key: u64) -> usize {
+        // Multiply-shift: the high bits of an odd-multiplier product are
+        // a universal-enough hash for power-of-anything table sizes.
+        let h = self.multipliers[row].wrapping_mul(key ^ (key >> 33));
+        ((h >> 32) as usize) % self.width
+    }
+
+    /// Records one occurrence of `key` with unit weight.
+    pub fn record(&mut self, key: u64) {
+        self.record_weighted(key, 1.0);
+    }
+
+    /// Records `weight` occurrences of `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on non-finite or negative weight.
+    pub fn record_weighted(&mut self, key: u64, weight: f64) {
+        debug_assert!(weight.is_finite() && weight >= 0.0);
+        for row in 0..self.depth {
+            let b = self.bucket(row, key);
+            self.counters[row * self.width + b] += weight;
+        }
+        self.total += weight;
+    }
+
+    /// Point query: an upper bound on the (decayed) count of `key`.
+    ///
+    /// Never undercounts; overcounts by collisions only, bounded in
+    /// expectation by `total / width` per row (the minimum over rows
+    /// tightens that exponentially in `depth`).
+    pub fn estimate(&self, key: u64) -> f64 {
+        (0..self.depth)
+            .map(|row| self.counters[row * self.width + self.bucket(row, key)])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Multiplies every counter (and the total) by `factor`, aging the
+    /// history. Calling this once per tick with factor `α` makes the
+    /// sketch an EWMA with per-tick half-life `ln 2 / ln(1/α)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) unless `0 <= factor <= 1`.
+    pub fn decay(&mut self, factor: f64) {
+        debug_assert!((0.0..=1.0).contains(&factor), "decay factor {factor} not in [0,1]");
+        for c in &mut self.counters {
+            *c *= factor;
+        }
+        self.total *= factor;
+    }
+
+    /// Zeroes the sketch (hash parameters keep their seed).
+    pub fn clear(&mut self) {
+        self.counters.iter_mut().for_each(|c| *c = 0.0);
+        self.total = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_undercounts() {
+        let mut sketch = CountMinSketch::new(32, 4, 1);
+        for key in 0..100u64 {
+            for _ in 0..(key % 7 + 1) {
+                sketch.record(key);
+            }
+        }
+        for key in 0..100u64 {
+            assert!(sketch.estimate(key) >= (key % 7 + 1) as f64 - 1e-9, "key {key}");
+        }
+    }
+
+    #[test]
+    fn total_tracks_mass() {
+        let mut sketch = CountMinSketch::new(16, 2, 3);
+        for key in 0..50u64 {
+            sketch.record(key);
+        }
+        assert!((sketch.total() - 50.0).abs() < 1e-12);
+        sketch.decay(0.5);
+        assert!((sketch.total() - 25.0).abs() < 1e-12);
+        sketch.clear();
+        assert_eq!(sketch.total(), 0.0);
+        assert_eq!(sketch.estimate(7), 0.0);
+    }
+
+    #[test]
+    fn decay_scales_estimates() {
+        let mut sketch = CountMinSketch::new(64, 4, 9);
+        for _ in 0..100 {
+            sketch.record(42);
+        }
+        let before = sketch.estimate(42);
+        sketch.decay(0.25);
+        assert!((sketch.estimate(42) - before * 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unseen_key_estimate_is_bounded_by_collisions() {
+        let mut sketch = CountMinSketch::new(256, 4, 5);
+        for key in 0..64u64 {
+            sketch.record(key);
+        }
+        // e/width * total ≈ 0.68; an unseen key's estimate must be small.
+        assert!(sketch.estimate(1_000_000) <= 64.0 * std::f64::consts::E / 256.0 + 1.0);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = CountMinSketch::new(128, 3, 11);
+        let mut b = CountMinSketch::new(128, 3, 11);
+        for key in [3u64, 1, 4, 1, 5, 9, 2, 6] {
+            a.record(key);
+            b.record(key);
+        }
+        assert_eq!(a, b);
+        let mut c = CountMinSketch::new(128, 3, 12);
+        for key in [3u64, 1, 4, 1, 5, 9, 2, 6] {
+            c.record(key);
+        }
+        assert_ne!(a.multipliers, c.multipliers);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let _ = CountMinSketch::new(0, 2, 0);
+    }
+}

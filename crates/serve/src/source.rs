@@ -1,0 +1,132 @@
+//! Request-stream drivers for the serving runtime: trace replay,
+//! synthetic Poisson arrivals, and mid-stream distribution shifts for
+//! drift experiments.
+
+use dbcast_model::{Database, ItemSpec};
+use dbcast_workload::{RequestTrace, TraceBuilder, WorkloadError, Zipf};
+
+/// Builds a Poisson request trace over `db`'s access frequencies —
+/// the synthetic driver behind `dbcast serve --poisson <rate>`.
+///
+/// # Errors
+///
+/// [`WorkloadError::InvalidParameter`] for a bad rate.
+pub fn poisson_trace(
+    db: &Database,
+    rate: f64,
+    requests: usize,
+    seed: u64,
+) -> Result<RequestTrace, WorkloadError> {
+    TraceBuilder::new(db).arrival_rate(rate).requests(requests).seed(seed).build()
+}
+
+/// A copy of `db` with the same item sizes but a fresh Zipf(θ)
+/// popularity profile assigned to ids rotated by `rotation` — the
+/// canonical "the hot set moved" drift injection. With `rotation = n/2`
+/// yesterday's cold half becomes today's hot half.
+///
+/// # Errors
+///
+/// [`WorkloadError::InvalidParameter`] if `theta` is negative or
+/// non-finite.
+pub fn shifted_workload(
+    db: &Database,
+    theta: f64,
+    rotation: usize,
+) -> Result<Database, WorkloadError> {
+    let n = db.len();
+    let zipf = Zipf::new(n, theta)?;
+    let specs: Vec<ItemSpec> = db
+        .iter()
+        .enumerate()
+        .map(|(i, d)| ItemSpec::new(zipf.pmf((i + rotation) % n + 1), d.size()))
+        .collect();
+    Ok(Database::try_from_specs(specs)
+        .expect("a Zipf pmf over an existing database is always a valid profile"))
+}
+
+/// Concatenates a pre-shift and a post-shift Poisson stream: the first
+/// `pre_requests` arrivals follow `pre`'s frequencies, the rest follow
+/// `post`'s, with arrival times continuing monotonically — the
+/// end-to-end drift scenario the acceptance test replays.
+///
+/// # Errors
+///
+/// [`WorkloadError::InvalidParameter`] for a bad rate.
+pub fn shifted_trace(
+    pre: &Database,
+    post: &Database,
+    pre_requests: usize,
+    post_requests: usize,
+    rate: f64,
+    seed: u64,
+) -> Result<RequestTrace, WorkloadError> {
+    let head = poisson_trace(pre, rate, pre_requests, seed)?;
+    let tail = poisson_trace(post, rate, post_requests, seed.wrapping_add(1))?;
+    let offset = head.requests().last().map_or(0.0, |r| r.time);
+    let merged = head
+        .iter()
+        .copied()
+        .chain(
+            tail.iter()
+                .map(|r| dbcast_workload::Request { time: r.time + offset, item: r.item }),
+        )
+        .collect::<Vec<_>>();
+    Ok(RequestTrace::from_requests(merged))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcast_workload::WorkloadBuilder;
+
+    #[test]
+    fn shifted_workload_preserves_sizes_and_moves_mass() {
+        let db = WorkloadBuilder::new(20).skewness(0.8).seed(1).build().unwrap();
+        let shifted = shifted_workload(&db, 1.2, 10).unwrap();
+        assert_eq!(shifted.len(), db.len());
+        for (a, b) in db.iter().zip(shifted.iter()) {
+            assert_eq!(a.size(), b.size());
+        }
+        // Item 10 takes rank 1 of the new profile: it is now the hottest.
+        let hottest = shifted
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.frequency().total_cmp(&b.1.frequency()))
+            .unwrap()
+            .0;
+        assert_eq!(hottest, 10);
+    }
+
+    #[test]
+    fn shifted_trace_is_monotone_and_complete() {
+        let pre = WorkloadBuilder::new(15).skewness(0.8).seed(2).build().unwrap();
+        let post = shifted_workload(&pre, 1.2, 7).unwrap();
+        let trace = shifted_trace(&pre, &post, 100, 150, 20.0, 3).unwrap();
+        assert_eq!(trace.len(), 250);
+        for w in trace.requests().windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn shifted_trace_changes_the_item_mix() {
+        let pre = WorkloadBuilder::new(10).skewness(1.5).seed(4).build().unwrap();
+        let post = shifted_workload(&pre, 1.5, 5).unwrap();
+        let trace = shifted_trace(&pre, &post, 2_000, 2_000, 50.0, 5).unwrap();
+        let head_counts: Vec<usize> =
+            trace.requests()[..2_000].iter().fold(vec![0; 10], |mut acc, r| {
+                acc[r.item.index()] += 1;
+                acc
+            });
+        let tail_counts: Vec<usize> =
+            trace.requests()[2_000..].iter().fold(vec![0; 10], |mut acc, r| {
+                acc[r.item.index()] += 1;
+                acc
+            });
+        // The pre-shift favorite loses the crown after the shift.
+        let head_top = head_counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
+        let tail_top = tail_counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
+        assert_ne!(head_top, tail_top);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the serving runtime's estimation layer and
+//! of the full closed loop's seed-replay determinism.
+
+use dbcast_model::ItemId;
+use dbcast_serve::{
+    poisson_trace, shifted_trace, shifted_workload, CountMinSketch, DriftDetector,
+    EstimatorConfig, FrequencyEstimator, RepairMode, ServeConfig, ServeRuntime, WorkerMode,
+};
+use dbcast_workload::WorkloadBuilder;
+use proptest::prelude::*;
+
+/// A request stream over a small key universe: (key, weight) pairs.
+fn stream_strategy() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    prop::collection::vec((0u64..64, 0.1f64..10.0), 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The count-min guarantee, both sides: a point query never
+    /// undercounts the true (weighted) frequency, and it never
+    /// overcounts by more than the total stream mass that could have
+    /// collided into the bucket.
+    #[test]
+    fn sketch_estimates_are_bounded(
+        stream in stream_strategy(),
+        width in 8usize..128,
+        depth in 1usize..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut sketch = CountMinSketch::new(width, depth, seed);
+        let mut truth = std::collections::HashMap::<u64, f64>::new();
+        let mut total = 0.0;
+        for &(key, w) in &stream {
+            sketch.record_weighted(key, w);
+            *truth.entry(key).or_default() += w;
+            total += w;
+        }
+        for (&key, &exact) in &truth {
+            let est = sketch.estimate(key);
+            prop_assert!(est >= exact - 1e-9, "undercount: {est} < {exact}");
+            prop_assert!(
+                est <= total + 1e-9,
+                "overcount beyond total mass: {est} > {total}"
+            );
+        }
+        prop_assert!((sketch.total() - total).abs() < 1e-6);
+    }
+
+    /// EWMA decay is monotone and composable: decaying by `a` never
+    /// increases any estimate, and decaying by `a` then `b` equals
+    /// decaying once by `a·b`.
+    #[test]
+    fn decay_is_monotone_and_composable(
+        stream in stream_strategy(),
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut sketch = CountMinSketch::new(32, 4, seed);
+        for &(key, w) in &stream {
+            sketch.record_weighted(key, w);
+        }
+        let mut once = sketch.clone();
+        let mut twice = sketch.clone();
+        once.decay(a * b);
+        twice.decay(a);
+        twice.decay(b);
+        for key in 0u64..64 {
+            let before = sketch.estimate(key);
+            let after = twice.estimate(key);
+            prop_assert!(after <= before + 1e-9, "decay increased {before} -> {after}");
+            prop_assert!((once.estimate(key) - after).abs() < 1e-6);
+        }
+    }
+
+    /// The estimator's frequency vector is always a valid profile:
+    /// positive entries summing to 1, whatever it observed.
+    #[test]
+    fn estimator_vector_is_always_a_distribution(
+        observations in prop::collection::vec(0usize..16, 0..400),
+        ticks_between in 0usize..4,
+    ) {
+        let mut est = FrequencyEstimator::new(
+            16,
+            EstimatorConfig { decay: 0.9, ..EstimatorConfig::default() },
+        );
+        for (i, &item) in observations.iter().enumerate() {
+            est.observe(ItemId::new(item));
+            if ticks_between > 0 && i % ticks_between == 0 {
+                est.tick(1.5);
+            }
+        }
+        let v = est.frequency_vector();
+        prop_assert_eq!(v.len(), 16);
+        prop_assert!(v.iter().all(|&f| f > 0.0));
+        prop_assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    // The full serve loop is heavier than a sketch query; fewer cases
+    // keep the suite fast while still sweeping seeds and shapes.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Seed-replay determinism of the FULL closed loop: workload
+    /// generation, trace synthesis, estimation, drift detection,
+    /// re-allocation and swap all key off explicit seeds, so two runs
+    /// of the deterministic worker mode agree on every field of the
+    /// report — including per-generation waiting-time statistics.
+    #[test]
+    fn deterministic_serve_loop_replays_bit_exactly(
+        seed in 0u64..u64::MAX,
+        items in 10usize..40,
+        budgeted in 0u8..2,
+    ) {
+        let db = WorkloadBuilder::new(items).skewness(0.9).seed(seed).build().unwrap();
+        let post = shifted_workload(&db, 1.3, items / 2).unwrap();
+        let trace = shifted_trace(&db, &post, 600, 600, 40.0, seed).unwrap();
+        let config = ServeConfig {
+            channels: 4,
+            bandwidth: 10.0,
+            estimator: EstimatorConfig { decay: 0.9, seed, ..EstimatorConfig::default() },
+            detector: DriftDetector { threshold: 0.2, min_observations: 100 },
+            repair: if budgeted == 1 {
+                RepairMode::Budgeted { budget: 8 }
+            } else {
+                RepairMode::Full
+            },
+            worker: WorkerMode::Deterministic,
+            max_ticks: None,
+        };
+        let run = |_| {
+            let runtime = ServeRuntime::new(&db, config).unwrap();
+            runtime.run(&trace).unwrap()
+        };
+        let (first, second) = (run(()), run(()));
+        // Wall-clock repair timings legitimately differ between runs;
+        // everything else must match bit-for-bit.
+        prop_assert_eq!(scrub(first), scrub(second));
+    }
+}
+
+/// Zeroes the only nondeterministic field (wall-clock repair time).
+fn scrub(mut report: dbcast_serve::ServeReport) -> dbcast_serve::ServeReport {
+    for g in &mut report.generations {
+        if let Some(r) = &mut g.repair {
+            r.wall_ns = 0;
+        }
+    }
+    report
+}
+
+/// The serialized report round-trips, so archived serve runs can be
+/// diffed against replays.
+#[test]
+fn serve_report_roundtrips_through_json() {
+    let db = WorkloadBuilder::new(20).skewness(0.8).seed(3).build().unwrap();
+    let trace = poisson_trace(&db, 30.0, 1_000, 3).unwrap();
+    let runtime = ServeRuntime::new(&db, ServeConfig::default()).unwrap();
+    let report = runtime.run(&trace).unwrap();
+    let json = serde_json::to_string(&report).unwrap();
+    let back: dbcast_serve::ServeReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
+}

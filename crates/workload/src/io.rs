@@ -10,6 +10,7 @@ use std::path::Path;
 use dbcast_model::Database;
 
 use crate::error::WorkloadError;
+use crate::trace::RequestTrace;
 
 /// Writes `db` as pretty-printed JSON to `writer`.
 ///
@@ -55,10 +56,58 @@ pub fn load_database<P: AsRef<Path>>(path: P) -> Result<Database, WorkloadError>
     load_database_from_reader(BufReader::new(file))
 }
 
+/// Writes `trace` as pretty-printed JSON to `writer`.
+///
+/// # Errors
+///
+/// [`WorkloadError::Json`] on serialization failure, [`WorkloadError::Io`]
+/// on write failure.
+pub fn save_trace_to_writer<W: Write>(
+    trace: &RequestTrace,
+    writer: W,
+) -> Result<(), WorkloadError> {
+    serde_json::to_writer_pretty(writer, trace)?;
+    Ok(())
+}
+
+/// Writes `trace` as pretty-printed JSON to the file at `path`, creating
+/// or truncating it — the archive format `dbcast serve --replay` reads.
+///
+/// # Errors
+///
+/// [`WorkloadError::Io`] / [`WorkloadError::Json`].
+pub fn save_trace<P: AsRef<Path>>(
+    trace: &RequestTrace,
+    path: P,
+) -> Result<(), WorkloadError> {
+    let file = File::create(path)?;
+    save_trace_to_writer(trace, BufWriter::new(file))
+}
+
+/// Reads a request trace from JSON in `reader`.
+///
+/// # Errors
+///
+/// [`WorkloadError::Json`] on malformed input.
+pub fn load_trace_from_reader<R: Read>(reader: R) -> Result<RequestTrace, WorkloadError> {
+    Ok(serde_json::from_reader(reader)?)
+}
+
+/// Reads a request trace from the JSON file at `path`.
+///
+/// # Errors
+///
+/// [`WorkloadError::Io`] / [`WorkloadError::Json`].
+pub fn load_trace<P: AsRef<Path>>(path: P) -> Result<RequestTrace, WorkloadError> {
+    let file = File::open(path)?;
+    load_trace_from_reader(BufReader::new(file))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::generator::WorkloadBuilder;
+    use crate::trace::TraceBuilder;
 
     #[test]
     fn roundtrip_via_memory() {
@@ -79,6 +128,21 @@ mod tests {
         let back = load_database(&path).unwrap();
         assert_eq!(db, back);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_roundtrip_via_memory() {
+        let db = WorkloadBuilder::new(20).seed(9).build().unwrap();
+        let trace = TraceBuilder::new(&db)
+            .arrival_rate(25.0)
+            .requests(300)
+            .seed(9)
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        save_trace_to_writer(&trace, &mut buf).unwrap();
+        let back = load_trace_from_reader(buf.as_slice()).unwrap();
+        assert_eq!(trace, back);
     }
 
     #[test]

@@ -40,7 +40,8 @@ mod zipf;
 pub use error::WorkloadError;
 pub use generator::WorkloadBuilder;
 pub use io::{
-    load_database, load_database_from_reader, save_database, save_database_to_writer,
+    load_database, load_database_from_reader, load_trace, load_trace_from_reader,
+    save_database, save_database_to_writer, save_trace, save_trace_to_writer,
 };
 pub use sizes::SizeDistribution;
 pub use trace::{Request, RequestTrace, TraceBuilder};

@@ -24,6 +24,9 @@
 //!   (the square-root rule) and its relationship to DRP's grouping.
 //! * [`cache`] — substrate: client-side caching (LRU vs PIX) over
 //!   broadcast programs.
+//! * [`serve`] — the online serving runtime: live workload estimation
+//!   (count-min + EWMA), drift detection, background re-allocation and
+//!   hot program swap at cycle boundaries.
 //!
 //! # Quickstart
 //!
@@ -64,6 +67,7 @@ pub use dbcast_index as index;
 pub use dbcast_model as model;
 pub use dbcast_query as query;
 pub use dbcast_replication as replication;
+pub use dbcast_serve as serve;
 pub use dbcast_sim as sim;
 pub use dbcast_workload as workload;
 

@@ -155,9 +155,11 @@ fn dynamic_reoptimize_closes_the_gap() {
     assert!(gain >= 0.0);
     assert!(live.cost() <= before);
     // After reoptimize + full repair, another repair finds nothing.
+    let mut live = live.with_repair_budget(64);
     live.repair();
-    let stats = live.repair();
-    assert_eq!(stats.moves, 0);
+    let outcome = live.repair();
+    assert!(outcome.converged());
+    assert_eq!(outcome.stats().moves, 0);
 }
 
 #[test]

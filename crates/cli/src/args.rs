@@ -3,11 +3,13 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// A parsed command line: a subcommand plus `--key value` options and
-/// bare `--switch` flags.
+/// A parsed command line: a subcommand, an optional action (second
+/// positional, e.g. `dbcast flight dump`), plus `--key value` options
+/// and bare `--switch` flags.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Args {
     command: Option<String>,
+    action: Option<String>,
     options: BTreeMap<String, String>,
     switches: Vec<String>,
 }
@@ -57,6 +59,7 @@ const SWITCHES: &[&str] = &[
     "check",
     "update-baseline",
     "deterministic",
+    "slo-trigger",
 ];
 
 impl Args {
@@ -85,6 +88,8 @@ impl Args {
                 }
             } else if args.command.is_none() {
                 args.command = Some(tok);
+            } else if args.action.is_none() {
+                args.action = Some(tok);
             } else {
                 return Err(ArgsError::UnexpectedPositional(tok));
             }
@@ -95,6 +100,12 @@ impl Args {
     /// The subcommand, if any.
     pub fn command(&self) -> Option<&str> {
         self.command.as_deref()
+    }
+
+    /// The action (second positional, e.g. `dump` in
+    /// `dbcast flight dump`), if any.
+    pub fn action(&self) -> Option<&str> {
+        self.action.as_deref()
     }
 
     /// Whether a bare switch (e.g. `--json`) was given.
@@ -167,9 +178,18 @@ mod tests {
     }
 
     #[test]
+    fn second_positional_is_the_action() {
+        let args = Args::parse(["flight", "dump", "--input", "pm.json"]).unwrap();
+        assert_eq!(args.command(), Some("flight"));
+        assert_eq!(args.action(), Some("dump"));
+        assert_eq!(args.require::<String>("input").unwrap(), "pm.json");
+        assert_eq!(Args::parse(["gen"]).unwrap().action(), None);
+    }
+
+    #[test]
     fn unexpected_positional_is_reported() {
         assert!(matches!(
-            Args::parse(["gen", "stray"]),
+            Args::parse(["gen", "act", "stray"]),
             Err(ArgsError::UnexpectedPositional(_))
         ));
     }

@@ -1,0 +1,222 @@
+//! `dbcast flight` — inspect flight-recorder artifacts:
+//!
+//! * `dbcast flight dump --input <file|dir>` — summarize a postmortem
+//!   JSON dump (the latest one when given a directory),
+//! * `dbcast flight check-metrics --input scrape.txt` — validate an
+//!   OpenMetrics scrape with the strict parser,
+//! * `dbcast flight catalog` — print the metrics catalogue as the
+//!   markdown committed at `docs/METRICS.md`.
+
+use std::path::{Path, PathBuf};
+
+use serde_json::Value;
+
+use crate::args::Args;
+use crate::commands::CliError;
+
+/// Dispatches the `flight` subcommand by action.
+///
+/// # Errors
+///
+/// Unknown actions, unreadable inputs, malformed postmortem JSON and
+/// OpenMetrics violations all fail the command.
+pub fn run_flight(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
+    match args.action() {
+        Some("dump") => run_dump(args, out),
+        Some("check-metrics") => run_check_metrics(args, out),
+        Some("catalog") => {
+            write!(out, "{}", dbcast_obs::catalog::markdown())?;
+            Ok(())
+        }
+        other => Err(CliError::InvalidOption(format!(
+            "flight action {:?}; expected dump, check-metrics or catalog",
+            other.unwrap_or("<none>")
+        ))),
+    }
+}
+
+/// Resolves `--input`: a postmortem file directly, or the
+/// lexicographically last `postmortem-*.json` in a directory (names
+/// embed a millisecond timestamp and a monotone counter, so last
+/// sorts latest).
+fn resolve_postmortem(input: &str) -> Result<PathBuf, CliError> {
+    let path = Path::new(input);
+    if path.is_file() {
+        return Ok(path.to_path_buf());
+    }
+    if path.is_dir() {
+        let mut dumps: Vec<PathBuf> = std::fs::read_dir(path)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("postmortem-") && n.ends_with(".json"))
+            })
+            .collect();
+        dumps.sort();
+        return dumps.pop().ok_or_else(|| {
+            CliError::InvalidOption(format!("no postmortem-*.json files in {input:?}"))
+        });
+    }
+    Err(CliError::InvalidOption(format!("--input {input:?} does not exist")))
+}
+
+fn run_dump(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
+    let input = args.require::<String>("input")?;
+    let last = args.opt_or("last", 16usize)?;
+    let path = resolve_postmortem(&input)?;
+    let body = std::fs::read_to_string(&path)?;
+    let doc: Value = serde_json::from_str(&body).map_err(|e| {
+        CliError::InvalidOption(format!("{}: not valid JSON: {e}", path.display()))
+    })?;
+
+    let version = doc.get("version").and_then(Value::as_u64).unwrap_or(0);
+    let reason = doc.get("reason").and_then(Value::as_str).unwrap_or("<missing>");
+    let unix_ms = doc.get("unix_ms").and_then(Value::as_u64).unwrap_or(0);
+    writeln!(out, "postmortem: {}", path.display())?;
+    writeln!(out, "schema version {version}, unix_ms {unix_ms}")?;
+    writeln!(out, "reason: {reason}")?;
+    if let Some(ring) = doc.get("ring") {
+        writeln!(
+            out,
+            "ring: capacity {}, recorded {}, dumped {}",
+            ring.get("capacity").and_then(Value::as_u64).unwrap_or(0),
+            ring.get("recorded").and_then(Value::as_u64).unwrap_or(0),
+            ring.get("dumped").and_then(Value::as_u64).unwrap_or(0),
+        )?;
+    }
+
+    let events = doc.get("events").and_then(Value::as_seq).unwrap_or(&[]);
+    let shown = events.len().min(last);
+    writeln!(out, "events: {} (showing last {shown})", events.len())?;
+    for e in &events[events.len() - shown..] {
+        writeln!(
+            out,
+            "  #{:<8} tick {:<6} gen {:<3} t={:<10.3} {:<16} value {:<12} extra {}",
+            e.get("seq").and_then(Value::as_u64).unwrap_or(0),
+            e.get("tick").and_then(Value::as_u64).unwrap_or(0),
+            e.get("generation").and_then(Value::as_u64).unwrap_or(0),
+            e.get("vtime").and_then(Value::as_f64).unwrap_or(0.0),
+            e.get("kind").and_then(Value::as_str).unwrap_or("?"),
+            e.get("value").and_then(Value::as_f64).unwrap_or(0.0),
+            e.get("extra").and_then(Value::as_u64).unwrap_or(0),
+        )?;
+    }
+
+    if let Some(metrics) = doc.get("metrics") {
+        let count =
+            |k: &str| metrics.get(k).and_then(Value::as_map).map(|m| m.len()).unwrap_or(0);
+        writeln!(
+            out,
+            "metrics snapshot: {} counter(s), {} gauge(s), {} histogram(s)",
+            count("counters"),
+            count("gauges"),
+            count("histograms"),
+        )?;
+    }
+    Ok(())
+}
+
+fn run_check_metrics(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
+    let input = args.require::<String>("input")?;
+    let body = std::fs::read_to_string(&input)?;
+    let families = dbcast_obs::openmetrics::parse(&body)
+        .map_err(|e| CliError::InvalidOption(format!("{input}: {e}")))?;
+    let samples: usize = families.iter().map(|f| f.samples.len()).sum();
+    writeln!(
+        out,
+        "{input}: valid OpenMetrics — {} famil{}, {samples} sample(s)",
+        families.len(),
+        if families.len() == 1 { "y" } else { "ies" },
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dbcast_flight_cmd_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn catalog_action_prints_markdown() {
+        let args = Args::parse(["flight", "catalog"]).unwrap();
+        let mut out = Vec::new();
+        run_flight(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("# Metrics catalogue"));
+        assert!(text.contains("`serve.slo.burn_rate`"));
+    }
+
+    #[test]
+    fn unknown_action_is_an_error() {
+        let args = Args::parse(["flight", "bogus"]).unwrap();
+        let mut out = Vec::new();
+        assert!(matches!(run_flight(&args, &mut out), Err(CliError::InvalidOption(_))));
+    }
+
+    #[test]
+    fn dump_summarizes_the_latest_postmortem_in_a_directory() {
+        let dir = temp_dir("dump");
+        // Two dumps; the lexicographically larger name is the later one.
+        std::fs::write(
+            dir.join("postmortem-1000-0-old.json"),
+            "{\"version\": 1, \"reason\": \"old\", \"unix_ms\": 1000, \
+             \"ring\": {\"capacity\": 64, \"recorded\": 1, \"dumped\": 1}, \
+             \"events\": [], \"metrics\": {\"counters\": {}, \"gauges\": {}, \
+             \"histograms\": {}}}",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("postmortem-2000-1-new.json"),
+            "{\"version\": 1, \"reason\": \"panic: injected\", \"unix_ms\": 2000, \
+             \"ring\": {\"capacity\": 64, \"recorded\": 2, \"dumped\": 2}, \
+             \"events\": [{\"seq\": 0, \"kind\": \"tick\", \"tick\": 1, \
+             \"generation\": 0, \"vtime\": 0.5, \"value\": 0.5, \"extra\": 0}, \
+             {\"seq\": 1, \"kind\": \"fault\", \"tick\": 1, \"generation\": 0, \
+             \"vtime\": 0.5, \"value\": 0, \"extra\": 1}], \
+             \"metrics\": {\"counters\": {\"serve.ticks\": 1}, \"gauges\": {}, \
+             \"histograms\": {}}}",
+        )
+        .unwrap();
+        let args =
+            Args::parse(["flight", "dump", "--input", dir.to_str().unwrap()]).unwrap();
+        let mut out = Vec::new();
+        run_flight(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("panic: injected"), "{text}");
+        assert!(text.contains("fault"), "{text}");
+        assert!(text.contains("1 counter(s)"), "{text}");
+        assert!(!text.contains("old"), "picked the stale dump:\n{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn check_metrics_accepts_valid_and_rejects_invalid() {
+        let dir = temp_dir("check");
+        let good = dir.join("good.txt");
+        std::fs::write(&good, "# TYPE serve_ticks counter\nserve_ticks_total 5\n# EOF\n")
+            .unwrap();
+        let args =
+            Args::parse(["flight", "check-metrics", "--input", good.to_str().unwrap()])
+                .unwrap();
+        let mut out = Vec::new();
+        run_flight(&args, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("valid OpenMetrics"));
+
+        let bad = dir.join("bad.txt");
+        std::fs::write(&bad, "serve_ticks_total 5\n").unwrap();
+        let args =
+            Args::parse(["flight", "check-metrics", "--input", bad.to_str().unwrap()])
+                .unwrap();
+        let mut out = Vec::new();
+        assert!(run_flight(&args, &mut out).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

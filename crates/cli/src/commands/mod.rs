@@ -3,6 +3,7 @@
 mod allocate;
 mod conformance_cmd;
 mod evaluate;
+mod flight_cmd;
 mod generate;
 mod index_cmd;
 mod paper_example;
@@ -16,6 +17,7 @@ mod sweep;
 pub use allocate::run_allocate;
 pub use conformance_cmd::run_conformance;
 pub use evaluate::run_evaluate;
+pub use flight_cmd::run_flight;
 pub use generate::run_generate;
 pub use index_cmd::run_index;
 pub use paper_example::run_paper_example;
@@ -48,6 +50,13 @@ pub enum CliError {
     UnknownAlgorithm(String),
     /// An option value that parses but is out of its valid domain.
     InvalidOption(String),
+    /// An option that needs a compile-time feature this binary lacks.
+    FeatureRequired {
+        /// The offending command-line option.
+        option: &'static str,
+        /// The cargo feature it needs.
+        feature: &'static str,
+    },
     /// Simulation failure.
     Sim(dbcast_sim::SimError),
     /// Serving-runtime failure.
@@ -81,6 +90,11 @@ impl fmt::Display for CliError {
                  drp-cds, dp, gopt"
             ),
             CliError::InvalidOption(msg) => write!(f, "invalid option: {msg}"),
+            CliError::FeatureRequired { option, feature } => write!(
+                f,
+                "{option} requires a binary built with `--features {feature}` \
+                 (this one was not); rebuild with `cargo build --features {feature}`"
+            ),
             CliError::Sim(e) => write!(f, "{e}"),
             CliError::Serve(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "{e}"),

@@ -3,7 +3,7 @@
 
 use dbcast_serve::{
     poisson_trace, shifted_trace, shifted_workload, DriftDetector, EstimatorConfig,
-    RepairMode, ServeConfig, ServeRuntime, WorkerMode,
+    RepairMode, ServeConfig, ServeRuntime, SloConfig, WorkerMode,
 };
 use dbcast_workload::RequestTrace;
 
@@ -49,6 +49,36 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
     if !(0.0..=1.0).contains(&decay) {
         return Err(CliError::InvalidOption(format!("--decay {decay} not in [0, 1]")));
     }
+
+    // Live exposition and postmortem metric snapshots are only
+    // meaningful with real telemetry, so (like --metrics-out) these are
+    // hard errors on a feature-off binary rather than silent no-ops.
+    let listen = args.opt::<String>("listen")?;
+    let postmortem_dir = args.opt::<String>("postmortem-dir")?;
+    if listen.is_some() || postmortem_dir.is_some() {
+        dbcast_obs::set_enabled(true);
+        if !dbcast_obs::enabled() {
+            return Err(CliError::FeatureRequired {
+                option: if listen.is_some() { "--listen" } else { "--postmortem-dir" },
+                feature: "obs",
+            });
+        }
+    }
+
+    let slo_trigger = args.switch("slo-trigger");
+    let slo = match (args.opt::<f64>("slo")?, slo_trigger) {
+        (None, false) => None,
+        (tol, trigger) => {
+            let tolerance = tol.unwrap_or(SloConfig::default().tolerance);
+            if tolerance <= 0.0 {
+                return Err(CliError::InvalidOption(format!(
+                    "--slo {tolerance} must be positive"
+                )));
+            }
+            Some(SloConfig { tolerance, trigger, ..SloConfig::default() })
+        }
+    };
+
     let config = ServeConfig {
         channels,
         bandwidth,
@@ -64,10 +94,46 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
             WorkerMode::Threaded
         },
         max_ticks: args.opt::<u64>("ticks")?,
+        slo,
+        pace_ms: args.opt_or("pace-ms", 0u64)?,
+        inject_panic_at_tick: args.opt::<u64>("inject-panic-at-tick")?,
+    };
+
+    if let Some(dir) = &postmortem_dir {
+        std::fs::create_dir_all(dir)?;
+        dbcast_flight::postmortem::set_dir(Some(std::path::PathBuf::from(dir)));
+        dbcast_flight::postmortem::install_panic_hook();
+    }
+    let exposition = match &listen {
+        None => None,
+        Some(addr) => {
+            let config_json = serde_json::to_string(&config)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            let items = db.len();
+            let requests = trace.len();
+            let status = Box::new(move || {
+                format!(
+                    "{{\"command\": \"serve\", \"items\": {items}, \
+                     \"trace_requests\": {requests}, \"flight_recorded\": {}, \
+                     \"config\": {config_json}}}",
+                    dbcast_flight::recorder().recorded()
+                )
+            });
+            let server = dbcast_flight::ExpositionServer::bind(addr.as_str(), status)?;
+            writeln!(
+                out,
+                "exposing /metrics, /flight and /status on http://{}",
+                server.addr()
+            )?;
+            Some(server)
+        }
     };
 
     let runtime = ServeRuntime::new(&db, config)?;
     let report = runtime.run(&trace)?;
+    if let Some(mut server) = exposition {
+        server.shutdown();
+    }
 
     if args.switch("json") {
         serde_json::to_writer_pretty(&mut *out, &report)
@@ -89,6 +155,13 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
         report.waiting.mean(),
         report.waiting.percentile(95.0).unwrap_or(0.0)
     )?;
+    if report.slo_breaches > 0 || report.slo_trigger_events > 0 {
+        writeln!(
+            out,
+            "SLO: {} breach(es), {} trigger-dispatched repair(s)",
+            report.slo_breaches, report.slo_trigger_events
+        )?;
+    }
     for g in &report.generations {
         let repair = match &g.repair {
             None => String::from("initial DRP-CDS"),
@@ -121,6 +194,18 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
                 out,
                 "  drift L1 {:.4} at dispatch; swap latency {:.2} virtual s",
                 d, l
+            )?;
+        }
+        if let Some(slo) = &g.slo {
+            writeln!(
+                out,
+                "  SLO: Eq.2 target {:.4} s, observed mean {:.4} s over {} \
+                 request(s) — {} (burn rate {:.2})",
+                slo.target_wait,
+                slo.observed_mean,
+                slo.requests,
+                if slo.within_tolerance { "within tolerance" } else { "OUT OF TOLERANCE" },
+                slo.burn_rate
             )?;
         }
     }

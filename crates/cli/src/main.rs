@@ -38,6 +38,8 @@ COMMANDS:
     stats           Run one allocation under telemetry, print metrics JSON
     conformance     Fuzz every allocator against the invariant suite
     perf            Run the pinned benchmark suite; gate against a baseline
+    flight          Inspect flight-recorder artifacts (dump | check-metrics |
+                    catalog)
 
 COMMON OPTIONS:
     --db PATH         Load a workload from JSON (otherwise one is generated)
@@ -73,6 +75,17 @@ COMMAND-SPECIFIC:
                --save-trace P archive the synthesized stream for --replay
                --deterministic   inline re-allocation (seed-replayable)
                --json         emit the full serve report as JSON
+               --listen ADDR  serve live /metrics, /flight and /status over
+                              HTTP while the run is in progress (needs obs)
+               --slo TOL      track the Eq. 2 expected wait with relative
+                              tolerance TOL               [default: 0.15]
+               --slo-trigger  let a persistent SLO miss dispatch a repair
+                              even without L1 drift (implies --slo)
+               --postmortem-dir P   arm panic/incident postmortem dumps
+                              (flight events + metrics) into directory P
+               --pace-ms N    sleep N wall-clock ms per tick (lets an
+                              external scraper watch a replay live)
+               --inject-panic-at-tick T   panic at tick T (postmortem test)
     sweep:     --axis A       k | n | phi | theta  [default: k]
                --seeds S      average over S seeds
                --quick        3 seeds instead of 20
@@ -82,6 +95,10 @@ COMMAND-SPECIFIC:
                --max-k K      largest generated K      [default: 8]
                --sim-stride S simulator check every S-th case (0 = off)
                --corpus DIR   replay a regression corpus directory first
+    flight:    dump          summarize a postmortem JSON (--input FILE|DIR,
+                             --last N events            [default: 16])
+               check-metrics validate an OpenMetrics scrape (--input FILE)
+               catalog       print the metrics catalogue (docs/METRICS.md)
     perf:      --iterations N timed iterations per benchmark [default: 10]
                --warmup W     discarded warmup runs          [default: 2]
                --filter S     only benchmarks whose name contains S
@@ -93,9 +110,9 @@ COMMAND-SPECIFIC:
                --alloc-tolerance PCT allocation tolerance (also disables
                                      the exact-count requirement)
 
-Telemetry (--metrics-out, stats, perf, --trace-out) records real data only
-when the binary is built with `--features obs`; otherwise snapshots and
-traces are empty.
+Telemetry records real data only when the binary is built with
+`--features obs`; --metrics-out, --listen and --postmortem-dir are hard
+errors without it (--trace-out still warns and writes an empty trace).
 ";
 
 fn run() -> Result<(), CliError> {
@@ -119,10 +136,10 @@ fn run() -> Result<(), CliError> {
     if metrics_out.is_some() {
         dbcast_obs::set_enabled(true);
         if !dbcast_obs::enabled() {
-            eprintln!(
-                "warning: built without the `obs` feature; \
-                 the --metrics-out snapshot will be empty"
-            );
+            return Err(CliError::FeatureRequired {
+                option: "--metrics-out",
+                feature: "obs",
+            });
         }
     }
 
@@ -151,6 +168,7 @@ fn run() -> Result<(), CliError> {
         Some("stats") => commands::run_stats(&args, &mut stdout),
         Some("conformance") => commands::run_conformance(&args, &mut stdout),
         Some("perf") => commands::run_perf(&args, &mut stdout),
+        Some("flight") => commands::run_flight(&args, &mut stdout),
         _ => {
             print!("{USAGE}");
             Ok(())

@@ -1,0 +1,189 @@
+//! The structured events the flight recorder retains.
+//!
+//! Events are fixed-size (seven 64-bit words) so the ring can store
+//! them field-per-atomic with no allocation: a kind tag, the serving
+//! runtime's tick/generation coordinates, a virtual timestamp, one
+//! `f64` payload (`value`) and one `u64` payload (`extra`) whose
+//! meanings are per-kind (documented on [`EventKind`]).
+
+/// What happened. The `value`/`extra` payload meaning per kind:
+///
+/// | kind | `value` | `extra` |
+/// |---|---|---|
+/// | `Tick` | tick length (virtual s) | — |
+/// | `RequestServed` | waiting time (virtual s) | item id |
+/// | `DriftScore` | L1 distance | 1 if drift declared |
+/// | `RepairStart` | L1 distance at dispatch | base generation |
+/// | `RepairOutcome` | repair wall time (ms) | CDS moves applied |
+/// | `SwapPublish` | Eq. 3 cost of the new generation | new generation |
+/// | `BudgetExhausted` | remaining-gain lower bound | CDS moves applied |
+/// | `SloBreach` | budget burn rate | slow requests so far |
+/// | `SloTrigger` | budget burn rate | generation |
+/// | `Fault` | — | fault code (free-form) |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A virtual-time tick boundary was crossed.
+    Tick = 0,
+    /// A request was admitted and served analytically.
+    RequestServed = 1,
+    /// A drift check ran (every tick once warmed up).
+    DriftScore = 2,
+    /// A re-allocation was dispatched.
+    RepairStart = 3,
+    /// A re-allocation finished computing.
+    RepairOutcome = 4,
+    /// A new generation was published through the EpochCell.
+    SwapPublish = 5,
+    /// A budgeted repair stopped with gain still available.
+    BudgetExhausted = 6,
+    /// The SLO error budget crossed burn rate 1.0.
+    SloBreach = 7,
+    /// The SLO tracker dispatched a re-allocation.
+    SloTrigger = 8,
+    /// A fault marker (injected panic, incident trigger, …).
+    Fault = 9,
+}
+
+impl EventKind {
+    /// All kinds, for iteration in inspectors.
+    pub const ALL: [EventKind; 10] = [
+        EventKind::Tick,
+        EventKind::RequestServed,
+        EventKind::DriftScore,
+        EventKind::RepairStart,
+        EventKind::RepairOutcome,
+        EventKind::SwapPublish,
+        EventKind::BudgetExhausted,
+        EventKind::SloBreach,
+        EventKind::SloTrigger,
+        EventKind::Fault,
+    ];
+
+    /// Stable lowercase name (used in postmortem JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Tick => "tick",
+            EventKind::RequestServed => "request_served",
+            EventKind::DriftScore => "drift_score",
+            EventKind::RepairStart => "repair_start",
+            EventKind::RepairOutcome => "repair_outcome",
+            EventKind::SwapPublish => "swap_publish",
+            EventKind::BudgetExhausted => "budget_exhausted",
+            EventKind::SloBreach => "slo_breach",
+            EventKind::SloTrigger => "slo_trigger",
+            EventKind::Fault => "fault",
+        }
+    }
+
+    /// Decodes a stored tag; unknown tags decode as [`EventKind::Fault`]
+    /// (a snapshot must never panic on a torn or future-version slot).
+    pub fn from_u64(v: u64) -> EventKind {
+        match v {
+            0 => EventKind::Tick,
+            1 => EventKind::RequestServed,
+            2 => EventKind::DriftScore,
+            3 => EventKind::RepairStart,
+            4 => EventKind::RepairOutcome,
+            5 => EventKind::SwapPublish,
+            6 => EventKind::BudgetExhausted,
+            7 => EventKind::SloBreach,
+            8 => EventKind::SloTrigger,
+            _ => EventKind::Fault,
+        }
+    }
+}
+
+/// One recorded event (plain data; `seq` is assigned by the ring).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightEvent {
+    /// Global sequence index (0 = first event ever recorded).
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Serving tick at which it happened.
+    pub tick: u64,
+    /// Program generation serving at the time.
+    pub generation: u64,
+    /// Virtual timestamp (seconds).
+    pub vtime: f64,
+    /// Per-kind `f64` payload (see [`EventKind`]).
+    pub value: f64,
+    /// Per-kind `u64` payload (see [`EventKind`]).
+    pub extra: u64,
+}
+
+impl FlightEvent {
+    /// Builds an event with the payload fields zeroed; callers set
+    /// what their kind uses.
+    pub fn new(kind: EventKind, tick: u64, generation: u64, vtime: f64) -> Self {
+        FlightEvent { seq: 0, kind, tick, generation, vtime, value: 0.0, extra: 0 }
+    }
+
+    /// Sets the `f64` payload.
+    pub fn value(mut self, value: f64) -> Self {
+        self.value = value;
+        self
+    }
+
+    /// Sets the `u64` payload.
+    pub fn extra(mut self, extra: u64) -> Self {
+        self.extra = extra;
+        self
+    }
+
+    /// Renders the event as one JSON object (self-contained writer,
+    /// like the obs snapshot exporter).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\": {}, \"kind\": \"{}\", \"tick\": {}, \"generation\": {}, \
+             \"vtime\": {}, \"value\": {}, \"extra\": {}}}",
+            self.seq,
+            self.kind.name(),
+            self.tick,
+            self.generation,
+            json_f64(self.vtime),
+            json_f64(self.value),
+            self.extra
+        )
+    }
+}
+
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        v.to_string()
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip_through_u64() {
+        for kind in EventKind::ALL {
+            assert_eq!(EventKind::from_u64(kind as u64), kind);
+        }
+        assert_eq!(EventKind::from_u64(250), EventKind::Fault);
+    }
+
+    #[test]
+    fn builder_sets_payloads() {
+        let e = FlightEvent::new(EventKind::DriftScore, 7, 2, 3.5).value(0.4).extra(1);
+        assert_eq!(e.tick, 7);
+        assert_eq!(e.generation, 2);
+        assert_eq!(e.value, 0.4);
+        assert_eq!(e.extra, 1);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let e = FlightEvent::new(EventKind::SwapPublish, 1, 2, 0.25).value(9.75).extra(2);
+        let j = e.to_json();
+        assert!(j.contains("\"kind\": \"swap_publish\""));
+        assert!(j.contains("\"vtime\": 0.25"));
+        assert!(j.contains("\"value\": 9.75"));
+    }
+}

@@ -1,0 +1,215 @@
+//! The live exposition endpoint: a tiny blocking HTTP/1.1 responder
+//! on `std::net::TcpListener`, serving
+//!
+//! * `GET /metrics` — the obs registry in OpenMetrics text format,
+//! * `GET /flight`  — the flight ring as a JSON event array,
+//! * `GET /status`  — a caller-provided JSON status document,
+//!
+//! from a dedicated thread. Every response is built from snapshot
+//! reads (registry snapshot, ring snapshot, status closure), so a
+//! scrape never blocks the serving loop — the exposition thread and
+//! the runtime share only lock-free structures and the registry's
+//! short-lived snapshot locks.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::recorder;
+
+/// Produces the `/status` JSON body on demand.
+pub type StatusFn = Box<dyn Fn() -> String + Send + Sync>;
+
+/// A running exposition endpoint. Dropping it (or calling
+/// [`shutdown`](Self::shutdown)) stops the thread.
+pub struct ExpositionServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ExpositionServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExpositionServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl ExpositionServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9898`; port 0 picks a free port)
+    /// and starts answering on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (address in use, permission denied).
+    pub fn bind(addr: impl ToSocketAddrs, status: StatusFn) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new().name("dbcast-exposition".into()).spawn(
+            move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // One request per connection, answered inline:
+                        // scrapes are rare and tiny, a thread pool
+                        // would be ceremony.
+                        let _ = handle_connection(stream, &status);
+                    }
+                }
+            },
+        )?;
+        Ok(ExpositionServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and waits for it to exit.
+    pub fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Release);
+            // Unblock the accept loop with one throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ExpositionServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The flight ring as a JSON document (also used by `/flight`).
+pub fn flight_json() -> String {
+    let ring = recorder();
+    let events = ring.snapshot();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"capacity\": {}, \"recorded\": {}, \"events\": [",
+        ring.capacity(),
+        ring.recorded()
+    ));
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  ");
+        out.push_str(&e.to_json());
+    }
+    out.push_str(if events.is_empty() { "]}\n" } else { "\n]}\n" });
+    out
+}
+
+fn handle_connection(mut stream: TcpStream, status: &StatusFn) -> io::Result<()> {
+    // Read until the header terminator (requests can arrive split
+    // across TCP segments); scrapes carry no body worth waiting for.
+    let mut buf = [0u8; 2048];
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = stream.read(&mut buf[filled..])?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+        if buf[..filled].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..filled]);
+    let mut parts = request.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (code, reason, content_type, body) = if method != "GET" {
+        ("405", "Method Not Allowed", "text/plain; charset=utf-8", "GET only\n".to_string())
+    } else {
+        match path {
+            "/metrics" => (
+                "200",
+                "OK",
+                "application/openmetrics-text; version=1.0.0; charset=utf-8",
+                dbcast_obs::openmetrics::render_global(),
+            ),
+            "/flight" => ("200", "OK", "application/json; charset=utf-8", flight_json()),
+            "/status" => ("200", "OK", "application/json; charset=utf-8", status()),
+            _ => (
+                "404",
+                "Not Found",
+                "text/plain; charset=utf-8",
+                "endpoints: /metrics /flight /status\n".to_string(),
+            ),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead as _;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let request = format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n");
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let mut body = String::new();
+        let mut headers_done = false;
+        let mut line = String::new();
+        while reader.read_line(&mut line).unwrap() > 0 {
+            if headers_done {
+                body.push_str(&line);
+            } else if line.trim().is_empty() {
+                headers_done = true;
+            }
+            line.clear();
+        }
+        (status_line, body)
+    }
+
+    #[test]
+    fn serves_metrics_flight_and_status() {
+        let mut server = ExpositionServer::bind(
+            "127.0.0.1:0",
+            Box::new(|| "{\"state\": \"testing\"}".to_string()),
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.ends_with("# EOF\n"), "metrics body not OpenMetrics:\n{body}");
+        dbcast_obs::openmetrics::parse(&body).expect("scrape parses");
+
+        let (status, body) = get(addr, "/flight");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"capacity\""), "{body}");
+
+        let (status, body) = get(addr, "/status");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"state\": \"testing\""), "{body}");
+
+        let (status, _) = get(addr, "/nope");
+        assert!(status.contains("404"), "{status}");
+
+        server.shutdown();
+        // A second shutdown is a no-op.
+        server.shutdown();
+    }
+}

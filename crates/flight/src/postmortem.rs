@@ -1,0 +1,176 @@
+//! Postmortem dumps: when something goes wrong — a panic anywhere in
+//! the process, or an explicitly triggered incident — the last events
+//! in the flight ring plus a full metrics snapshot are written to a
+//! timestamped JSON file, so the record of what led up to the failure
+//! survives the process.
+//!
+//! Dumping is armed by [`set_dir`] (the CLI's `--postmortem-dir`);
+//! with no directory configured every trigger is a no-op, which is
+//! what lets the recorder itself stay always-on.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::recorder;
+
+/// Postmortem JSON schema version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+fn dir_cell() -> &'static Mutex<Option<PathBuf>> {
+    static DIR: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
+    DIR.get_or_init(|| Mutex::new(None))
+}
+
+/// Arms postmortem dumping: triggers (incidents and the panic hook)
+/// write into `dir`. Pass `None` to disarm.
+pub fn set_dir(dir: Option<PathBuf>) {
+    *dir_cell().lock().expect("postmortem dir lock poisoned") = dir;
+}
+
+/// The currently armed postmortem directory, if any.
+pub fn dir() -> Option<PathBuf> {
+    dir_cell().lock().expect("postmortem dir lock poisoned").clone()
+}
+
+/// Renders the postmortem document for `reason`: schema version,
+/// wall-clock timestamp, ring statistics, the most recent flight
+/// events and the full obs metrics snapshot.
+pub fn render(reason: &str) -> String {
+    let ring = recorder();
+    let events = ring.snapshot();
+    let unix_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"version\": {SCHEMA_VERSION},\n"));
+    out.push_str(&format!(
+        "  \"reason\": {},\n",
+        dbcast_obs::snapshot::json_string(reason)
+    ));
+    out.push_str(&format!("  \"unix_ms\": {unix_ms},\n"));
+    out.push_str(&format!(
+        "  \"ring\": {{\"capacity\": {}, \"recorded\": {}, \"dumped\": {}}},\n",
+        ring.capacity(),
+        ring.recorded(),
+        events.len()
+    ));
+    out.push_str("  \"events\": [");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&e.to_json());
+    }
+    out.push_str(if events.is_empty() { "],\n" } else { "\n  ],\n" });
+    // Embed the metrics snapshot verbatim: it is already a JSON object.
+    let metrics = dbcast_obs::registry().snapshot().to_json();
+    out.push_str("  \"metrics\": ");
+    out.push_str(metrics.trim_end());
+    out.push_str("\n}\n");
+    out
+}
+
+/// Writes the postmortem for `reason` into `dir`, returning the file
+/// path (`postmortem-<unix_ms>-<counter>-<slug>.json`; the counter
+/// disambiguates dumps within one millisecond).
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn dump_to(dir: &Path, reason: &str) -> io::Result<PathBuf> {
+    static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    std::fs::create_dir_all(dir)?;
+    let unix_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let n = DUMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let slug: String = reason
+        .chars()
+        .take(32)
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect();
+    let path = dir.join(format!("postmortem-{unix_ms}-{n}-{slug}.json"));
+    std::fs::write(&path, render(reason))?;
+    Ok(path)
+}
+
+/// Triggers an incident dump if a directory is armed; returns the
+/// written path, `None` when disarmed or on I/O failure (an incident
+/// dump must never take the serving process down with it).
+pub fn incident(reason: &str) -> Option<PathBuf> {
+    let dir = dir()?;
+    dump_to(&dir, reason).ok()
+}
+
+/// Installs a panic hook that writes a postmortem dump (when a
+/// directory is armed) before delegating to the previously installed
+/// hook. Idempotent: the hook chains at most once per process.
+pub fn install_panic_hook() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let message = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic".to_string());
+            if let Some(dir) = dir() {
+                if let Ok(path) = dump_to(&dir, &format!("panic: {message}")) {
+                    eprintln!("flight: postmortem written to {}", path.display());
+                }
+            }
+            previous(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, FlightEvent};
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dbcast_flight_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn dump_writes_schema_reason_and_events() {
+        let dir = temp_dir("dump");
+        recorder().record(
+            FlightEvent::new(EventKind::DriftScore, 3, 1, 0.5).value(0.33).extra(1),
+        );
+        let path = dump_to(&dir, "unit-test incident").unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"version\": 1"), "{body}");
+        assert!(body.contains("unit-test incident"));
+        assert!(body.contains("\"drift_score\""));
+        assert!(body.contains("\"metrics\": {"));
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.starts_with("postmortem-") && name.ends_with(".json"), "{name}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn incident_is_noop_when_disarmed() {
+        // Serialize against other tests that arm the global directory.
+        let dir = temp_dir("incident");
+        set_dir(None);
+        assert!(incident("nothing armed").is_none());
+        set_dir(Some(dir.clone()));
+        let path = incident("armed now").expect("dump written");
+        assert!(path.exists());
+        set_dir(None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

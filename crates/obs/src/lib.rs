@@ -27,13 +27,16 @@
 
 #![forbid(unsafe_code)]
 
+pub mod catalog;
 pub mod log;
 pub mod metrics;
+pub mod openmetrics;
 pub mod snapshot;
 pub mod span;
 pub mod trace;
 pub mod tree;
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -56,20 +59,23 @@ pub fn set_enabled(on: bool) {
     RUNTIME_ENABLED.store(on, Ordering::Relaxed);
 }
 
-/// The process-wide metric registry.
+/// The process-wide metric registry. Metrics are indexed by name in a
+/// `BTreeMap`, so lookup is `O(log n)` instead of a linear scan and
+/// snapshots enumerate in sorted-name order (deterministic output for
+/// JSON and OpenMetrics exports alike).
 pub struct Registry {
-    counters: Mutex<Vec<(String, &'static Counter)>>,
-    gauges: Mutex<Vec<(String, &'static Gauge)>>,
-    histograms: Mutex<Vec<(String, &'static Histogram)>>,
+    counters: Mutex<BTreeMap<String, &'static Counter>>,
+    gauges: Mutex<BTreeMap<String, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
     traces: Mutex<Vec<ConvergenceTrace>>,
 }
 
 impl Registry {
     fn new() -> Self {
         Registry {
-            counters: Mutex::new(Vec::new()),
-            gauges: Mutex::new(Vec::new()),
-            histograms: Mutex::new(Vec::new()),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
             traces: Mutex::new(Vec::new()),
         }
     }
@@ -92,16 +98,16 @@ impl Registry {
     }
 
     fn intern<T: 'static>(
-        table: &Mutex<Vec<(String, &'static T)>>,
+        table: &Mutex<BTreeMap<String, &'static T>>,
         name: &str,
         make: fn() -> T,
     ) -> &'static T {
         let mut table = table.lock().expect("registry poisoned");
-        if let Some((_, m)) = table.iter().find(|(n, _)| n == name) {
+        if let Some(&m) = table.get(name) {
             return m;
         }
         let leaked: &'static T = Box::leak(Box::new(make()));
-        table.push((name.to_string(), leaked));
+        table.insert(name.to_string(), leaked);
         leaked
     }
 

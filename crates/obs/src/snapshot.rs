@@ -187,7 +187,9 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-pub(crate) fn json_string(s: &str) -> String {
+/// Escapes `s` as a JSON string literal (shared by the flight
+/// recorder's self-contained postmortem writer).
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

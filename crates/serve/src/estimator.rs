@@ -102,14 +102,23 @@ impl FrequencyEstimator {
     /// (downstream `Database` construction rejects zeros): items never
     /// requested get an epsilon share, not zero.
     pub fn frequency_vector(&self) -> Vec<f64> {
+        let mut v = Vec::new();
+        self.frequency_vector_into(&mut v);
+        v
+    }
+
+    /// [`frequency_vector`](Self::frequency_vector) into a caller-owned
+    /// buffer, so the per-tick drift check can reuse one allocation for
+    /// the whole run (`out` is cleared first; after the first call it
+    /// never reallocates).
+    pub fn frequency_vector_into(&self, out: &mut Vec<f64>) {
         const FLOOR: f64 = 1e-9;
-        let mut v: Vec<f64> =
-            (0..self.items).map(|i| self.sketch.estimate(i as u64).max(FLOOR)).collect();
-        let total: f64 = v.iter().sum();
-        for f in &mut v {
+        out.clear();
+        out.extend((0..self.items).map(|i| self.sketch.estimate(i as u64).max(FLOOR)));
+        let total: f64 = out.iter().sum();
+        for f in out {
             *f /= total;
         }
-        v
     }
 }
 
@@ -135,6 +144,20 @@ mod tests {
         assert!(v.iter().all(|&f| f > 0.0));
         // Item 9 was requested 10x more often than item 0.
         assert!(v[9] > v[0]);
+    }
+
+    #[test]
+    fn vector_into_reuses_the_buffer() {
+        let mut est = estimator(8);
+        est.observe(ItemId::new(3));
+        let mut buf = Vec::with_capacity(8);
+        est.frequency_vector_into(&mut buf);
+        assert_eq!(buf, est.frequency_vector());
+        let ptr = buf.as_ptr();
+        est.observe(ItemId::new(5));
+        est.frequency_vector_into(&mut buf);
+        assert_eq!(ptr, buf.as_ptr(), "refill must not reallocate");
+        assert_eq!(buf, est.frequency_vector());
     }
 
     #[test]

@@ -30,6 +30,7 @@ mod drift;
 mod estimator;
 mod runtime;
 mod sketch;
+mod slo;
 mod source;
 mod swap;
 
@@ -40,5 +41,6 @@ pub use runtime::{
     ServeReport, ServeRuntime, WorkerMode,
 };
 pub use sketch::CountMinSketch;
+pub use slo::{expected_wait, SloConfig, SloReport, SloTracker, SloVerdict};
 pub use source::{poisson_trace, shifted_trace, shifted_workload};
 pub use swap::{EpochCell, Versioned};

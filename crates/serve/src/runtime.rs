@@ -30,19 +30,22 @@
 
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dbcast_alloc::{DrpCds, DynamicBroadcast, RepairOutcome};
+use dbcast_flight::{EventKind, FlightEvent};
 use dbcast_model::{
-    AllocError, Allocation, BroadcastProgram, ChannelAllocator, Database, ItemSpec,
-    ModelError,
+    average_waiting_time, AllocError, Allocation, BroadcastProgram, ChannelAllocator,
+    Database, ItemSpec, ModelError,
 };
+use dbcast_obs::metrics::{Counter, Gauge, Histogram};
 use dbcast_sim::SummaryStats;
 use dbcast_workload::RequestTrace;
 use serde::{Deserialize, Serialize};
 
 use crate::drift::{Drift, DriftDetector};
 use crate::estimator::{EstimatorConfig, FrequencyEstimator};
+use crate::slo::{SloConfig, SloReport, SloTracker};
 use crate::swap::EpochCell;
 
 /// How a drift-triggered re-allocation recomputes the program.
@@ -99,6 +102,16 @@ pub struct ServeConfig {
     /// Stop serving after this many ticks (`None` = run the whole
     /// trace). Requests past the cap are left unserved, not dropped.
     pub max_ticks: Option<u64>,
+    /// Eq. 2–anchored SLO tracking (`None` = off).
+    pub slo: Option<SloConfig>,
+    /// Wall-clock milliseconds to sleep per virtual tick (0 = run at
+    /// full speed). Replays finish in well under a second at full
+    /// speed; pacing stretches a run so live endpoints can be scraped
+    /// mid-flight.
+    pub pace_ms: u64,
+    /// Fail point: panic at this tick (after recording a `Fault`
+    /// flight event), for postmortem-dump drills. `None` in production.
+    pub inject_panic_at_tick: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -111,6 +124,9 @@ impl Default for ServeConfig {
             repair: RepairMode::Full,
             worker: WorkerMode::Deterministic,
             max_ticks: None,
+            slo: None,
+            pace_ms: 0,
+            inject_panic_at_tick: None,
         }
     }
 }
@@ -160,6 +176,9 @@ pub struct ProgramGeneration {
     pub assignment: Vec<usize>,
     /// Eq. 3 cost of the assignment under `frequencies`.
     pub cost: f64,
+    /// Eq. 2 expected wait `W_b` under `frequencies` (seconds) — the
+    /// analytical SLO target this generation is held to.
+    pub expected_wait: f64,
 }
 
 /// What one re-allocation did — surfaced from
@@ -203,6 +222,8 @@ pub struct GenerationStats {
     /// Virtual seconds from drift detection to installation (`None` for
     /// generation 0).
     pub swap_latency: Option<f64>,
+    /// SLO outcome of the generation (`None` when tracking is off).
+    pub slo: Option<SloReport>,
 }
 
 /// The outcome of one serving run.
@@ -217,6 +238,12 @@ pub struct ServeReport {
     pub unserved: u64,
     /// Drift detections that dispatched a re-allocation.
     pub drift_events: u64,
+    /// Requests that exceeded the per-request SLO slow threshold
+    /// (0 when tracking is off).
+    pub slo_breaches: u64,
+    /// Re-allocations dispatched by the SLO tracker rather than L1
+    /// drift (0 when tracking is off or `trigger` is unset).
+    pub slo_trigger_events: u64,
     /// Hot swaps performed.
     pub swaps: u64,
     /// Ticks the runtime advanced through.
@@ -251,6 +278,8 @@ struct RepairJob {
     drift: f64,
     /// Virtual dispatch time (for swap-latency accounting).
     dispatched_at: f64,
+    /// Tick at dispatch (flight-event coordinates).
+    dispatched_tick: u64,
 }
 
 /// The worker's answer.
@@ -294,6 +323,16 @@ fn recompute(job: &RepairJob, mode: RepairMode, channels: usize) -> Option<Repai
         }
     };
     let wall_ns = start.elapsed().as_nanos() as u64;
+    dbcast_flight::record(
+        FlightEvent::new(
+            EventKind::RepairOutcome,
+            job.dispatched_tick,
+            job.base_generation,
+            job.dispatched_at,
+        )
+        .value(wall_ns as f64 / 1e6)
+        .extra(moves as u64),
+    );
     Some(RepairResult {
         base_generation: job.base_generation,
         db: job.db.clone(),
@@ -335,6 +374,53 @@ pub struct ServeRuntime {
     sizes: Vec<f64>,
     /// The program cell readers share.
     cell: Arc<EpochCell<ProgramGeneration>>,
+    /// Registry handles resolved once at construction — the serving
+    /// loop records through these without ever touching the registry's
+    /// name tables (no lock, no lookup, no allocation per tick).
+    metrics: ServeMetrics,
+}
+
+/// The serving runtime's metric handles, interned at construction.
+#[derive(Debug)]
+struct ServeMetrics {
+    requests: &'static Counter,
+    dropped: &'static Counter,
+    drift_events: &'static Counter,
+    swaps: &'static Counter,
+    budget_exhausted: &'static Counter,
+    ticks: &'static Counter,
+    slo_breaches: &'static Counter,
+    slo_trigger_events: &'static Counter,
+    drift_distance: &'static Gauge,
+    generation: &'static Gauge,
+    generation_cost: &'static Gauge,
+    slo_burn_rate: &'static Gauge,
+    slo_target_wait: &'static Gauge,
+    swap_latency: &'static Histogram,
+    wait: &'static Histogram,
+}
+
+impl ServeMetrics {
+    fn resolve() -> Self {
+        let r = dbcast_obs::registry();
+        ServeMetrics {
+            requests: r.counter("serve.requests"),
+            dropped: r.counter("serve.dropped"),
+            drift_events: r.counter("serve.drift_events"),
+            swaps: r.counter("serve.swaps"),
+            budget_exhausted: r.counter("serve.repair_budget_exhausted"),
+            ticks: r.counter("serve.ticks"),
+            slo_breaches: r.counter("serve.slo.breaches"),
+            slo_trigger_events: r.counter("serve.slo.trigger_events"),
+            drift_distance: r.gauge("serve.drift_distance"),
+            generation: r.gauge("serve.generation"),
+            generation_cost: r.gauge("serve.generation_cost"),
+            slo_burn_rate: r.gauge("serve.slo.burn_rate"),
+            slo_target_wait: r.gauge("serve.slo.target_wait"),
+            swap_latency: r.histogram("serve.swap_latency"),
+            wait: r.histogram("serve.wait"),
+        }
+    }
 }
 
 impl ServeRuntime {
@@ -348,16 +434,19 @@ impl ServeRuntime {
     pub fn new(db: &Database, config: ServeConfig) -> Result<Self, ServeError> {
         let alloc = DrpCds::new().allocate(db, config.channels)?;
         let program = BroadcastProgram::new(db, &alloc, config.bandwidth)?;
+        let expected_wait = average_waiting_time(db, &alloc, config.bandwidth)?.total();
         let generation = ProgramGeneration {
             program,
             frequencies: db.iter().map(|d| d.frequency()).collect(),
             assignment: alloc.assignment().to_vec(),
             cost: alloc.total_cost(),
+            expected_wait,
         };
         Ok(ServeRuntime {
             config,
             sizes: db.iter().map(|d| d.size()).collect(),
             cell: Arc::new(EpochCell::new(generation)),
+            metrics: ServeMetrics::resolve(),
         })
     }
 
@@ -443,6 +532,8 @@ impl ServeRuntime {
             dropped: 0,
             unserved: 0,
             drift_events: 0,
+            slo_breaches: 0,
+            slo_trigger_events: 0,
             swaps: 0,
             ticks: 0,
             waiting: SummaryStats::new(),
@@ -450,7 +541,7 @@ impl ServeRuntime {
             final_assignment: Vec::new(),
             estimated_frequencies: Vec::new(),
         };
-        {
+        let mut slo_tracker = {
             let gen0 = self.cell.current();
             report.generations.push(GenerationStats {
                 generation: gen0.generation,
@@ -462,8 +553,16 @@ impl ServeRuntime {
                 drift_at_dispatch: None,
                 repair: None,
                 swap_latency: None,
+                slo: None,
             });
-        }
+            let tracker =
+                self.config.slo.map(|c| SloTracker::new(c, gen0.value.expected_wait));
+            if tracker.is_some() {
+                self.metrics.slo_target_wait.set(gen0.value.expected_wait);
+            }
+            tracker
+        };
+        let mut slo_trigger_pending = false;
 
         let mut tick_len = self.tick_len(&self.cell.current().value);
         let mut tick_end = tick_len;
@@ -471,6 +570,9 @@ impl ServeRuntime {
         let mut job_in_flight = false;
         let mut pending: Option<RepairResult> = None;
         let mut capped = false;
+        // Reused per tick — filled in place so the steady-state loop
+        // performs no heap allocation.
+        let mut estimated = Vec::with_capacity(self.sizes.len());
 
         let mut requests = trace.iter().peekable();
         // Advance through every tick boundary at or before the next
@@ -478,6 +580,31 @@ impl ServeRuntime {
         while let Some(next_time) = requests.peek().map(|r| r.time) {
             while next_time >= tick_end {
                 report.ticks += 1;
+                self.metrics.ticks.inc();
+                dbcast_flight::record(
+                    FlightEvent::new(
+                        EventKind::Tick,
+                        report.ticks,
+                        self.cell.generation(),
+                        tick_end,
+                    )
+                    .value(tick_len),
+                );
+                if self.config.inject_panic_at_tick == Some(report.ticks) {
+                    dbcast_flight::record(
+                        FlightEvent::new(
+                            EventKind::Fault,
+                            report.ticks,
+                            self.cell.generation(),
+                            tick_end,
+                        )
+                        .extra(1),
+                    );
+                    panic!("injected fault at tick {}", report.ticks);
+                }
+                if self.config.pace_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(self.config.pace_ms));
+                }
                 if let Some(cap) = self.config.max_ticks {
                     if report.ticks >= cap {
                         capped = true;
@@ -498,9 +625,23 @@ impl ServeRuntime {
                 if let Some(result) = pending.take() {
                     job_in_flight = false;
                     if result.base_generation == self.cell.generation() {
+                        // Freeze the replaced generation's SLO ledger
+                        // and restart tracking against the incoming
+                        // generation's Eq. 2 target.
+                        if let Some(tracker) = &slo_tracker {
+                            if let Some(stats) = report.generations.last_mut() {
+                                stats.slo = Some(tracker.report());
+                            }
+                        }
                         self.install(result, boundary, report.ticks, &mut report)?;
                         observations_since_swap = 0;
                         tick_len = self.tick_len(&self.cell.current().value);
+                        if let Some(config) = self.config.slo {
+                            let target = self.cell.current().value.expected_wait;
+                            slo_tracker = Some(SloTracker::new(config, target));
+                            slo_trigger_pending = false;
+                            self.metrics.slo_target_wait.set(target);
+                        }
                     }
                     // A stale result (its base was already replaced) is
                     // simply discarded; the drift check below may
@@ -508,27 +649,69 @@ impl ServeRuntime {
                 }
                 // (3) Age the estimate by the tick's virtual duration.
                 estimator.tick(tick_len);
-                // (4) Check for drift; dispatch at most one job.
+                // (4) Check for drift; dispatch at most one job. The
+                // SLO tracker's trigger rides the same dispatch path:
+                // it forces a re-allocation even below the L1
+                // threshold (the workload can degrade the observed
+                // wait without moving far in L1).
                 if !job_in_flight {
                     let serving = self.cell.current();
-                    let estimated = estimator.frequency_vector();
+                    estimator.frequency_vector_into(&mut estimated);
                     let drift: Drift = self.config.detector.check(
                         &estimated,
                         &serving.value.frequencies,
                         observations_since_swap,
                     );
-                    if dbcast_obs::enabled() {
-                        dbcast_obs::gauge!("serve.drift_distance").set(drift.distance);
-                    }
-                    if drift.drifted {
-                        report.drift_events += 1;
-                        dbcast_obs::counter!("serve.drift_events").inc();
+                    self.metrics.drift_distance.set(drift.distance);
+                    dbcast_flight::record(
+                        FlightEvent::new(
+                            EventKind::DriftScore,
+                            report.ticks,
+                            serving.generation,
+                            boundary,
+                        )
+                        .value(drift.distance)
+                        .extra(drift.drifted as u64),
+                    );
+                    let slo_fire = std::mem::take(&mut slo_trigger_pending);
+                    if drift.drifted || slo_fire {
+                        if drift.drifted {
+                            report.drift_events += 1;
+                            self.metrics.drift_events.inc();
+                        }
+                        if slo_fire {
+                            report.slo_trigger_events += 1;
+                            self.metrics.slo_trigger_events.inc();
+                            let burn =
+                                slo_tracker.as_ref().map(|t| t.burn_rate()).unwrap_or(0.0);
+                            dbcast_flight::record(
+                                FlightEvent::new(
+                                    EventKind::SloTrigger,
+                                    report.ticks,
+                                    serving.generation,
+                                    boundary,
+                                )
+                                .value(burn)
+                                .extra(serving.generation),
+                            );
+                        }
+                        dbcast_flight::record(
+                            FlightEvent::new(
+                                EventKind::RepairStart,
+                                report.ticks,
+                                serving.generation,
+                                boundary,
+                            )
+                            .value(drift.distance)
+                            .extra(serving.generation),
+                        );
                         let job = RepairJob {
                             base_generation: serving.generation,
                             db: self.estimated_db(&estimator),
                             assignment: serving.value.assignment.clone(),
                             drift: drift.distance,
                             dispatched_at: boundary,
+                            dispatched_tick: report.ticks,
                         };
                         match &worker {
                             Some((job_tx, _, _)) => {
@@ -572,11 +755,45 @@ impl ServeRuntime {
                     stats.waiting.record(wait);
                     estimator.observe(r.item);
                     observations_since_swap += 1;
-                    dbcast_obs::counter!("serve.requests").inc();
+                    self.metrics.requests.inc();
+                    self.metrics.wait.record((wait * 1e6) as u64);
+                    dbcast_flight::record(
+                        FlightEvent::new(
+                            EventKind::RequestServed,
+                            report.ticks,
+                            serving.generation,
+                            r.time,
+                        )
+                        .value(wait)
+                        .extra(r.item.index() as u64),
+                    );
+                    if let Some(tracker) = slo_tracker.as_mut() {
+                        let verdict = tracker.observe(wait);
+                        if verdict.slow {
+                            report.slo_breaches += 1;
+                            self.metrics.slo_breaches.inc();
+                        }
+                        self.metrics.slo_burn_rate.set(verdict.burn_rate);
+                        if verdict.breached {
+                            dbcast_flight::record(
+                                FlightEvent::new(
+                                    EventKind::SloBreach,
+                                    report.ticks,
+                                    serving.generation,
+                                    r.time,
+                                )
+                                .value(verdict.burn_rate)
+                                .extra(tracker.report().slow),
+                            );
+                        }
+                        if verdict.trigger {
+                            slo_trigger_pending = true;
+                        }
+                    }
                 }
                 None => {
                     report.dropped += 1;
-                    dbcast_obs::counter!("serve.dropped").inc();
+                    self.metrics.dropped.inc();
                 }
             }
         }
@@ -589,10 +806,13 @@ impl ServeRuntime {
         let final_gen = self.cell.current();
         report.final_assignment = final_gen.value.assignment.clone();
         report.estimated_frequencies = estimator.frequency_vector();
-        if dbcast_obs::enabled() {
-            dbcast_obs::gauge!("serve.generation").set(final_gen.generation as f64);
-            dbcast_obs::gauge!("serve.generation_cost").set(final_gen.value.cost);
+        if let Some(tracker) = &slo_tracker {
+            if let Some(stats) = report.generations.last_mut() {
+                stats.slo = Some(tracker.report());
+            }
         }
+        self.metrics.generation.set(final_gen.generation as f64);
+        self.metrics.generation_cost.set(final_gen.value.cost);
         Ok(report)
     }
 
@@ -611,18 +831,31 @@ impl ServeRuntime {
         )?;
         let program = BroadcastProgram::new(&result.db, &alloc, self.config.bandwidth)?;
         let cost = alloc.total_cost();
+        let expected_wait =
+            average_waiting_time(&result.db, &alloc, self.config.bandwidth)?.total();
         let generation = ProgramGeneration {
             program,
             frequencies: result.db.iter().map(|d| d.frequency()).collect(),
             assignment: result.assignment,
             cost,
+            expected_wait,
         };
         let gen = self.cell.publish(generation);
         report.swaps += 1;
-        dbcast_obs::counter!("serve.swaps").inc();
-        dbcast_obs::histogram!("serve.swap_latency").record(result.repair.wall_ns);
+        self.metrics.swaps.inc();
+        self.metrics.swap_latency.record(result.repair.wall_ns);
+        dbcast_flight::record(
+            FlightEvent::new(EventKind::SwapPublish, tick, gen, boundary)
+                .value(cost)
+                .extra(gen),
+        );
         if result.repair.budget_exhausted {
-            dbcast_obs::counter!("serve.repair_budget_exhausted").inc();
+            self.metrics.budget_exhausted.inc();
+            dbcast_flight::record(
+                FlightEvent::new(EventKind::BudgetExhausted, tick, gen, boundary)
+                    .value(result.repair.remaining_gain_bound)
+                    .extra(result.repair.moves as u64),
+            );
         }
         report.generations.push(GenerationStats {
             generation: gen,
@@ -634,6 +867,7 @@ impl ServeRuntime {
             drift_at_dispatch: Some(result.drift),
             repair: Some(result.repair),
             swap_latency: Some(boundary - result.dispatched_at),
+            slo: None,
         });
         Ok(())
     }

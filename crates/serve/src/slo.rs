@@ -1,0 +1,315 @@
+//! Eq. 2–anchored SLO tracking.
+//!
+//! Every program generation carries an *analytical* service-level
+//! objective: the expected waiting time `W_b` of Eq. 2 computed from
+//! the frequency profile the generation was optimized for,
+//!
+//! ```text
+//!   W_b = cost / (2b) + (Σ_j f_j z_j) / b        (probe + download)
+//! ```
+//!
+//! The tracker compares live serving against that prediction two ways:
+//!
+//! * **per request** — a wait above `breach_multiplier × W_b` is a
+//!   *slow* request; the fraction of slow requests against the allowed
+//!   `budget` is the error-budget **burn rate** (1.0 = budget exactly
+//!   spent). Crossing 1.0 latches a breach.
+//! * **in aggregate** — once warmed up, an observed mean outside the
+//!   relative `tolerance` band around `W_b` means the analytical model
+//!   no longer describes live traffic (the workload moved in a way
+//!   that may not register as L1 drift, e.g. mass concentrating on the
+//!   slowest channel). With `trigger` set this dispatches one
+//!   re-allocation per generation — the SLO path into the same repair
+//!   machinery the drift detector feeds.
+
+use dbcast_model::{average_waiting_time, Allocation, Database, ModelError};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the per-generation SLO tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloConfig {
+    /// Relative tolerance on the observed mean wait vs the Eq. 2
+    /// prediction before the generation counts as out of band.
+    pub tolerance: f64,
+    /// Per-request slow threshold as a multiple of `W_b`.
+    pub breach_multiplier: f64,
+    /// Allowed fraction of slow requests (the error budget).
+    pub budget: f64,
+    /// Dispatch a re-allocation when the mean leaves the tolerance
+    /// band (at most once per generation).
+    pub trigger: bool,
+    /// Requests a generation must serve before breaches or triggers
+    /// can fire — the aggregate is meaningless over a handful of
+    /// arrivals.
+    pub min_requests: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            tolerance: 0.15,
+            breach_multiplier: 2.0,
+            budget: 0.05,
+            trigger: false,
+            min_requests: 200,
+        }
+    }
+}
+
+/// Eq. 2 expected wait `W_b` for `assignment` over `db` — the SLO
+/// target a generation is held to.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] for an invalid assignment or bandwidth.
+pub fn expected_wait(
+    db: &Database,
+    channels: usize,
+    assignment: Vec<usize>,
+    bandwidth: f64,
+) -> Result<f64, ModelError> {
+    let alloc = Allocation::from_assignment(db, channels, assignment)?;
+    Ok(average_waiting_time(db, &alloc, bandwidth)?.total())
+}
+
+/// What one observed request did to the SLO state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloVerdict {
+    /// The request exceeded the per-request slow threshold.
+    pub slow: bool,
+    /// Burn rate after this request.
+    pub burn_rate: f64,
+    /// This request pushed the burn rate across 1.0 (latched: reported
+    /// at most once per generation).
+    pub breached: bool,
+    /// The tracker wants a re-allocation dispatched (latched: at most
+    /// once per generation, only with [`SloConfig::trigger`]).
+    pub trigger: bool,
+}
+
+/// Per-generation SLO accounting against a fixed Eq. 2 target.
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    config: SloConfig,
+    target: f64,
+    threshold: f64,
+    requests: u64,
+    sum_wait: f64,
+    slow: u64,
+    breach_latched: bool,
+    trigger_latched: bool,
+}
+
+impl SloTracker {
+    /// Starts tracking a generation whose Eq. 2 expected wait is
+    /// `target` seconds.
+    pub fn new(config: SloConfig, target: f64) -> Self {
+        SloTracker {
+            config,
+            target,
+            threshold: config.breach_multiplier * target,
+            requests: 0,
+            sum_wait: 0.0,
+            slow: 0,
+            breach_latched: false,
+            trigger_latched: false,
+        }
+    }
+
+    /// The Eq. 2 target wait (seconds).
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// Folds one served request in and reports what changed.
+    pub fn observe(&mut self, wait: f64) -> SloVerdict {
+        self.requests += 1;
+        self.sum_wait += wait;
+        let slow = wait > self.threshold;
+        if slow {
+            self.slow += 1;
+        }
+        let burn_rate = self.burn_rate();
+        let warmed = self.requests >= self.config.min_requests;
+        let breached = warmed && burn_rate > 1.0 && !self.breach_latched;
+        if breached {
+            self.breach_latched = true;
+        }
+        let trigger = self.config.trigger
+            && warmed
+            && !self.trigger_latched
+            && !self.within_tolerance();
+        if trigger {
+            self.trigger_latched = true;
+        }
+        SloVerdict { slow, burn_rate, breached, trigger }
+    }
+
+    /// Requests observed by this tracker.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Mean observed wait so far (0 before the first request).
+    pub fn observed_mean(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.sum_wait / self.requests as f64
+        }
+    }
+
+    /// `(slow fraction) / budget`; 1.0 means the error budget is
+    /// exactly spent.
+    pub fn burn_rate(&self) -> f64 {
+        if self.requests == 0 || self.config.budget <= 0.0 {
+            0.0
+        } else {
+            (self.slow as f64 / self.requests as f64) / self.config.budget
+        }
+    }
+
+    /// Whether the observed mean sits inside the relative tolerance
+    /// band around the Eq. 2 target (vacuously true before the first
+    /// request).
+    pub fn within_tolerance(&self) -> bool {
+        if self.requests == 0 {
+            return true;
+        }
+        (self.observed_mean() - self.target).abs()
+            <= self.config.tolerance * self.target.abs()
+    }
+
+    /// Freezes the tracker into the per-generation report.
+    pub fn report(&self) -> SloReport {
+        SloReport {
+            target_wait: self.target,
+            observed_mean: self.observed_mean(),
+            requests: self.requests,
+            slow: self.slow,
+            burn_rate: self.burn_rate(),
+            within_tolerance: self.within_tolerance(),
+        }
+    }
+}
+
+/// Per-generation SLO outcome, embedded in the serve report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloReport {
+    /// Eq. 2 expected wait `W_b` the generation was held to (seconds).
+    pub target_wait: f64,
+    /// Mean observed wait over the generation's requests (seconds).
+    pub observed_mean: f64,
+    /// Requests the generation served while tracked.
+    pub requests: u64,
+    /// Requests slower than `breach_multiplier × W_b`.
+    pub slow: u64,
+    /// Final error-budget burn rate.
+    pub burn_rate: f64,
+    /// Whether the observed mean ended inside the tolerance band.
+    pub within_tolerance: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcast_model::ItemSpec;
+
+    fn config() -> SloConfig {
+        SloConfig {
+            tolerance: 0.1,
+            breach_multiplier: 2.0,
+            budget: 0.1,
+            trigger: true,
+            min_requests: 10,
+        }
+    }
+
+    #[test]
+    fn expected_wait_matches_hand_computation() {
+        // Two equal items on one channel, cycle 8, bandwidth 10:
+        // probe 8/20 = 0.4, download 4/10 = 0.4.
+        let db = Database::try_from_specs(vec![
+            ItemSpec::new(0.5, 4.0),
+            ItemSpec::new(0.5, 4.0),
+        ])
+        .unwrap();
+        let w = expected_wait(&db, 1, vec![0, 0], 10.0).unwrap();
+        assert!((w - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn on_target_traffic_stays_quiet() {
+        let mut t = SloTracker::new(config(), 1.0);
+        for _ in 0..100 {
+            let v = t.observe(1.0);
+            assert!(!v.slow && !v.breached && !v.trigger);
+        }
+        let r = t.report();
+        assert!(r.within_tolerance);
+        assert_eq!(r.slow, 0);
+        assert_eq!(r.burn_rate, 0.0);
+    }
+
+    #[test]
+    fn burn_rate_breaches_once() {
+        let mut t = SloTracker::new(config(), 1.0);
+        // 50% slow against a 10% budget: burn rate 5.0, one latched
+        // breach after warm-up.
+        let mut breaches = 0;
+        for i in 0..100 {
+            let wait = if i % 2 == 0 { 3.0 } else { 0.5 };
+            let v = t.observe(wait);
+            if v.breached {
+                breaches += 1;
+            }
+        }
+        assert_eq!(breaches, 1);
+        assert!((t.burn_rate() - 5.0).abs() < 1e-9);
+        assert_eq!(t.report().slow, 50);
+    }
+
+    #[test]
+    fn warmup_suppresses_breach_and_trigger() {
+        let mut t = SloTracker::new(config(), 1.0);
+        for _ in 0..9 {
+            let v = t.observe(10.0);
+            assert!(!v.breached && !v.trigger, "fired before min_requests");
+        }
+        let v = t.observe(10.0);
+        assert!(v.breached && v.trigger, "10th request warms the tracker up");
+    }
+
+    #[test]
+    fn trigger_fires_once_per_generation() {
+        let mut t = SloTracker::new(config(), 1.0);
+        let mut triggers = 0;
+        for _ in 0..100 {
+            if t.observe(1.5).trigger {
+                triggers += 1;
+            }
+        }
+        assert_eq!(triggers, 1);
+        assert!(!t.within_tolerance());
+    }
+
+    #[test]
+    fn trigger_disabled_never_fires() {
+        let mut t = SloTracker::new(SloConfig { trigger: false, ..config() }, 1.0);
+        for _ in 0..100 {
+            assert!(!t.observe(10.0).trigger);
+        }
+    }
+
+    #[test]
+    fn slow_mean_leaves_tolerance_in_both_directions() {
+        let mut fast = SloTracker::new(config(), 1.0);
+        let mut slow = SloTracker::new(config(), 1.0);
+        for _ in 0..20 {
+            fast.observe(0.5);
+            slow.observe(1.5);
+        }
+        assert!(!fast.within_tolerance());
+        assert!(!slow.within_tolerance());
+    }
+}

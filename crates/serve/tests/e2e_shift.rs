@@ -41,6 +41,9 @@ fn config() -> ServeConfig {
         repair: RepairMode::Full,
         worker: WorkerMode::Deterministic,
         max_ticks: None,
+        slo: None,
+        pace_ms: 0,
+        inject_panic_at_tick: None,
     }
 }
 

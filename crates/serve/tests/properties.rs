@@ -129,6 +129,9 @@ proptest! {
             },
             worker: WorkerMode::Deterministic,
             max_ticks: None,
+            slo: None,
+            pace_ms: 0,
+            inject_panic_at_tick: None,
         };
         let run = |_| {
             let runtime = ServeRuntime::new(&db, config).unwrap();

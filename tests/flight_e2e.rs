@@ -1,0 +1,277 @@
+//! End-to-end flight recorder / exposition / SLO acceptance tests:
+//!
+//! * a live `/metrics` scrape taken while a paced, threaded serve run
+//!   is in flight parses as OpenMetrics and shows monotone serve
+//!   counters across scrapes,
+//! * an injected panic produces a postmortem JSON carrying a deep
+//!   flight-event history including the drift and swap events that
+//!   preceded the fault,
+//! * the online SLO tracker's observed mean for a stationary workload
+//!   lands within tolerance of the Eq. 2 prediction `W_b`,
+//! * `docs/METRICS.md` is exactly the generated catalogue, and every
+//!   metric the runtime records is catalogued.
+//!
+//! The flight ring, postmortem machinery and SLO tracker are always-on;
+//! only the *content* of metric scrapes needs the `obs` feature, so
+//! those assertions are gated on `dbcast_obs::enabled()`.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+use dbcast_serve::{
+    poisson_trace, shifted_trace, shifted_workload, DriftDetector, EstimatorConfig,
+    RepairMode, ServeConfig, ServeRuntime, SloConfig, WorkerMode,
+};
+
+/// The global registry and flight ring are process-wide; serialize the
+/// tests that assert on their contents.
+static GLOBAL_STATE_LOCK: Mutex<()> = Mutex::new(());
+
+fn db() -> dbcast_model::Database {
+    dbcast_workload::WorkloadBuilder::new(80)
+        .skewness(0.8)
+        .sizes(dbcast_workload::SizeDistribution::Diversity { phi_max: 2.0 })
+        .seed(3)
+        .build()
+        .expect("workload builds")
+}
+
+fn base_config() -> ServeConfig {
+    ServeConfig {
+        channels: 5,
+        bandwidth: 10.0,
+        estimator: EstimatorConfig::default(),
+        detector: DriftDetector { threshold: 0.25, min_observations: 200 },
+        repair: RepairMode::Full,
+        worker: WorkerMode::Deterministic,
+        max_ticks: None,
+        slo: None,
+        pace_ms: 0,
+        inject_panic_at_tick: None,
+    }
+}
+
+/// Minimal HTTP GET against the exposition server: one `write_all`,
+/// read to EOF, return the body after the header terminator.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to exposition server");
+    let request =
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header terminator");
+    assert!(head.starts_with("HTTP/1.1 200"), "non-200 for {path}: {head}");
+    body.to_string()
+}
+
+#[test]
+fn live_scrape_during_threaded_run_parses_and_counters_are_monotone() {
+    let _guard = GLOBAL_STATE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    dbcast_obs::set_enabled(true);
+    let live = dbcast_obs::enabled();
+    dbcast_obs::registry().reset();
+
+    let db = db();
+    let post = shifted_workload(&db, 1.2, db.len() / 2).expect("shifted workload");
+    let trace = shifted_trace(&db, &post, 2000, 2000, 10.0, 5).expect("trace builds");
+    let config = ServeConfig {
+        worker: WorkerMode::Threaded,
+        pace_ms: 10,
+        slo: Some(SloConfig { tolerance: 0.5, ..SloConfig::default() }),
+        ..base_config()
+    };
+
+    let server = dbcast_flight::ExpositionServer::bind(
+        "127.0.0.1:0",
+        Box::new(|| String::from("{\"command\": \"flight-e2e\"}")),
+    )
+    .expect("bind exposition server");
+    let addr = server.addr();
+
+    let runtime = ServeRuntime::new(&db, config).expect("runtime builds");
+    let run = std::thread::spawn(move || runtime.run(&trace));
+
+    // Scrape while the paced run is in flight; every scrape must parse,
+    // and the tick counter must never go backwards.
+    let mut ticks_seen: Vec<f64> = Vec::new();
+    let mut scrapes = 0usize;
+    while !run.is_finished() {
+        let body = http_get(addr, "/metrics");
+        let families = dbcast_obs::openmetrics::parse(&body)
+            .expect("mid-run scrape is valid OpenMetrics");
+        if let Some(t) =
+            dbcast_obs::openmetrics::sample_value(&families, "serve_ticks_total")
+        {
+            ticks_seen.push(t);
+        }
+        scrapes += 1;
+        std::thread::sleep(std::time::Duration::from_millis(15));
+    }
+    let report = run.join().expect("run thread").expect("run succeeds");
+    assert!(scrapes > 0, "run finished before a single scrape");
+
+    // Two post-run scrapes guarantee at least two data points even on a
+    // machine that raced through the paced loop.
+    for _ in 0..2 {
+        let body = http_get(addr, "/metrics");
+        let families =
+            dbcast_obs::openmetrics::parse(&body).expect("post-run scrape parses");
+        if live {
+            let t = dbcast_obs::openmetrics::sample_value(&families, "serve_ticks_total")
+                .expect("serve_ticks_total exposed");
+            ticks_seen.push(t);
+            let served =
+                dbcast_obs::openmetrics::sample_value(&families, "serve_requests_total")
+                    .expect("serve_requests_total exposed");
+            assert_eq!(served as u64, report.requests);
+        }
+    }
+    if live {
+        assert!(ticks_seen.len() >= 2);
+        assert!(
+            ticks_seen.windows(2).all(|w| w[1] >= w[0]),
+            "serve_ticks_total went backwards: {ticks_seen:?}"
+        );
+        assert_eq!(*ticks_seen.last().unwrap() as u64, report.ticks);
+    }
+
+    // The other two endpoints serve consistent JSON.
+    let status = http_get(addr, "/status");
+    assert!(status.contains("flight-e2e"), "status body: {status}");
+    let flight = http_get(addr, "/flight");
+    assert!(flight.contains("\"events\""), "flight body: {flight}");
+
+    assert!(report.swaps >= 1, "shifted workload should hot-swap");
+    drop(server); // Drop shuts the listener down.
+    assert!(TcpStream::connect(addr).is_err(), "server still listening after drop");
+}
+
+#[test]
+fn injected_panic_dumps_a_postmortem_with_deep_history() {
+    let _guard = GLOBAL_STATE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = std::env::temp_dir().join("dbcast_flight_e2e_postmortem");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create postmortem dir");
+    dbcast_flight::postmortem::set_dir(Some(dir.clone()));
+    dbcast_flight::postmortem::install_panic_hook();
+
+    let db = db();
+    let post = shifted_workload(&db, 1.2, db.len() / 2).expect("shifted workload");
+    // Shift early so drift fires and a swap publishes well before the
+    // injected fault at tick 30.
+    let trace = shifted_trace(&db, &post, 1200, 2800, 10.0, 9).expect("trace builds");
+    let config = ServeConfig { inject_panic_at_tick: Some(30), ..base_config() };
+    let runtime = ServeRuntime::new(&db, config).expect("runtime builds");
+    let result = std::thread::spawn(move || runtime.run(&trace)).join();
+    assert!(result.is_err(), "injected fault must panic the run");
+
+    // Disarm before asserting so a failure below cannot re-dump.
+    dbcast_flight::postmortem::set_dir(None);
+
+    let dump = std::fs::read_dir(&dir)
+        .expect("read postmortem dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("postmortem-") && n.ends_with(".json"))
+        })
+        .expect("panic hook wrote a postmortem dump");
+    let body = std::fs::read_to_string(&dump).expect("read dump");
+    let doc: serde_json::Value = serde_json::from_str(&body).expect("dump is JSON");
+
+    let reason = doc.get("reason").and_then(|v| v.as_str()).expect("reason");
+    assert!(reason.contains("injected fault at tick 30"), "reason: {reason}");
+
+    let events = doc.get("events").and_then(|v| v.as_seq()).expect("events");
+    assert!(events.len() >= 64, "only {} events in the dump", events.len());
+    let kinds: Vec<&str> =
+        events.iter().filter_map(|e| e.get("kind").and_then(|k| k.as_str())).collect();
+    for expected in ["tick", "request_served", "drift_score", "swap_publish", "fault"] {
+        assert!(kinds.contains(&expected), "no {expected} event before the fault");
+    }
+    assert_eq!(kinds.last(), Some(&"fault"), "fault must be the final event");
+
+    // The metrics snapshot rode along (contents need the obs feature).
+    assert!(doc.get("metrics").is_some(), "no metrics snapshot in the dump");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stationary_slo_observed_mean_matches_eq2_prediction() {
+    let db = db();
+    // Stationary Poisson arrivals drawn from the db's own frequencies:
+    // the workload the initial allocation was optimized for, so the
+    // measured mean wait should track the analytical W_b of Eq. 2.
+    let trace = poisson_trace(&db, 10.0, 6000, 17).expect("trace builds");
+    let tolerance = 0.25;
+    let config = ServeConfig {
+        // No drift machinery in the way: one generation end to end.
+        detector: DriftDetector { threshold: 10.0, min_observations: u64::MAX },
+        slo: Some(SloConfig { tolerance, ..SloConfig::default() }),
+        ..base_config()
+    };
+    let runtime = ServeRuntime::new(&db, config).expect("runtime builds");
+    let report = runtime.run(&trace).expect("run succeeds");
+
+    assert_eq!(report.swaps, 0);
+    let slo = report.generations[0].slo.as_ref().expect("SLO report finalized");
+    assert!(slo.target_wait > 0.0);
+    assert_eq!(slo.requests, report.requests);
+    let rel = (slo.observed_mean - slo.target_wait).abs() / slo.target_wait;
+    assert!(
+        slo.within_tolerance && rel <= tolerance,
+        "observed mean {:.4} vs Eq.2 target {:.4} (relative error {rel:.3} > {tolerance})",
+        slo.observed_mean,
+        slo.target_wait
+    );
+}
+
+#[test]
+fn metrics_docs_match_the_generated_catalogue() {
+    let generated = dbcast_obs::catalog::markdown();
+    let committed =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/docs/METRICS.md"))
+            .expect("docs/METRICS.md exists (regenerate: dbcast flight catalog)");
+    assert_eq!(
+        committed, generated,
+        "docs/METRICS.md is stale; regenerate with `dbcast flight catalog > docs/METRICS.md`"
+    );
+}
+
+#[test]
+fn every_recorded_metric_is_catalogued() {
+    let _guard = GLOBAL_STATE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    dbcast_obs::set_enabled(true);
+
+    // Drive a representative run so the registry holds the serve-layer
+    // names (interning happens at runtime construction).
+    let db = db();
+    let trace = poisson_trace(&db, 10.0, 500, 1).expect("trace builds");
+    let runtime = ServeRuntime::new(
+        &db,
+        ServeConfig { slo: Some(SloConfig::default()), ..base_config() },
+    )
+    .expect("runtime builds");
+    runtime.run(&trace).expect("run succeeds");
+
+    let snap = dbcast_obs::registry().snapshot();
+    let names = snap
+        .counters
+        .iter()
+        .map(|(n, _)| n)
+        .chain(snap.gauges.iter().map(|(n, _)| n))
+        .chain(snap.histograms.iter().map(|(n, _)| n));
+    for name in names {
+        if name.contains(".test.") {
+            continue; // Synthetic names minted by tests.
+        }
+        assert!(
+            dbcast_obs::catalog::describe(name).is_some(),
+            "metric {name:?} is not in dbcast_obs::catalog::CATALOG"
+        );
+    }
+}

@@ -60,6 +60,7 @@ const SWITCHES: &[&str] = &[
     "update-baseline",
     "deterministic",
     "slo-trigger",
+    "once",
 ];
 
 impl Args {

@@ -4,6 +4,8 @@
 //!   JSON dump (the latest one when given a directory),
 //! * `dbcast flight check-metrics --input scrape.txt` — validate an
 //!   OpenMetrics scrape with the strict parser,
+//! * `dbcast flight check-series --input series.json` — validate a
+//!   `/series` time-series document with the scope validator,
 //! * `dbcast flight catalog` — print the metrics catalogue as the
 //!   markdown committed at `docs/METRICS.md`.
 
@@ -24,12 +26,13 @@ pub fn run_flight(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliE
     match args.action() {
         Some("dump") => run_dump(args, out),
         Some("check-metrics") => run_check_metrics(args, out),
+        Some("check-series") => run_check_series(args, out),
         Some("catalog") => {
             write!(out, "{}", dbcast_obs::catalog::markdown())?;
             Ok(())
         }
         other => Err(CliError::InvalidOption(format!(
-            "flight action {:?}; expected dump, check-metrics or catalog",
+            "flight action {:?}; expected dump, check-metrics, check-series or catalog",
             other.unwrap_or("<none>")
         ))),
     }
@@ -133,6 +136,23 @@ fn run_check_metrics(args: &Args, out: &mut impl std::io::Write) -> Result<(), C
     Ok(())
 }
 
+fn run_check_series(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
+    let input = args.require::<String>("input")?;
+    let body = std::fs::read_to_string(&input)?;
+    let doc = dbcast_scope::validate(&body)
+        .map_err(|e| CliError::InvalidOption(format!("{input}: {e}")))?;
+    writeln!(
+        out,
+        "{input}: valid /series document — schema {}, tick {}, {} series, \
+         {} histogram(s)",
+        doc.schema,
+        doc.tick,
+        doc.series.len(),
+        doc.histograms.len(),
+    )?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +214,36 @@ mod tests {
         assert!(text.contains("fault"), "{text}");
         assert!(text.contains("1 counter(s)"), "{text}");
         assert!(!text.contains("old"), "picked the stale dump:\n{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn check_series_accepts_valid_and_rejects_invalid() {
+        let dir = temp_dir("series");
+        let store = dbcast_scope::SeriesStore::default();
+        let snap = dbcast_obs::snapshot::Snapshot {
+            counters: vec![("serve.ticks".to_string(), 7)],
+            gauges: vec![("serve.drift_distance".to_string(), 0.1)],
+            histograms: Vec::new(),
+            traces: Vec::new(),
+        };
+        store.append_snapshot(&snap, 100);
+        let good = dir.join("good.json");
+        std::fs::write(&good, dbcast_scope::render_store(&store)).unwrap();
+        let args =
+            Args::parse(["flight", "check-series", "--input", good.to_str().unwrap()])
+                .unwrap();
+        let mut out = Vec::new();
+        run_flight(&args, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("valid /series document"));
+
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"schema\": 99}").unwrap();
+        let args =
+            Args::parse(["flight", "check-series", "--input", bad.to_str().unwrap()])
+                .unwrap();
+        let mut out = Vec::new();
+        assert!(run_flight(&args, &mut out).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -13,6 +13,7 @@ mod serve_cmd;
 mod simulate;
 mod stats;
 mod sweep;
+mod top_cmd;
 
 pub use allocate::run_allocate;
 pub use conformance_cmd::run_conformance;
@@ -27,6 +28,7 @@ pub use serve_cmd::run_serve;
 pub use simulate::run_simulate;
 pub use stats::run_stats;
 pub use sweep::run_sweep_cmd;
+pub use top_cmd::run_top;
 
 use std::fmt;
 
@@ -75,6 +77,13 @@ pub enum CliError {
         /// Number of regressed findings.
         regressions: usize,
     },
+    /// A telemetry scrape (`dbcast top`, `/series` validation) failed.
+    Scrape(String),
+    /// Scope watchdog rules fired during a `serve --watch` run.
+    Watchdog {
+        /// Number of rules that fired.
+        firings: usize,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -107,6 +116,12 @@ impl fmt::Display for CliError {
                 f,
                 "perf check failed: {regressions} regression(s) against the baseline; \
                  see the comparison above (refresh intentionally with --update-baseline)"
+            ),
+            CliError::Scrape(msg) => write!(f, "telemetry scrape failed: {msg}"),
+            CliError::Watchdog { firings } => write!(
+                f,
+                "watchdog: {firings} rule(s) fired during the run; \
+                 see the firing report above and the flight ring for context"
             ),
         }
     }

@@ -50,32 +50,60 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
         return Err(CliError::InvalidOption(format!("--decay {decay} not in [0, 1]")));
     }
 
-    // Live exposition and postmortem metric snapshots are only
-    // meaningful with real telemetry, so (like --metrics-out) these are
-    // hard errors on a feature-off binary rather than silent no-ops.
+    // Live exposition, postmortem metric snapshots, the scope sampler
+    // and watchdogs are only meaningful with real telemetry, so (like
+    // --metrics-out) these are hard errors on a feature-off binary
+    // rather than silent no-ops.
     let listen = args.opt::<String>("listen")?;
     let postmortem_dir = args.opt::<String>("postmortem-dir")?;
-    if listen.is_some() || postmortem_dir.is_some() {
+    let watch = args.opt::<String>("watch")?;
+    if listen.is_some() || postmortem_dir.is_some() || watch.is_some() {
         dbcast_obs::set_enabled(true);
         if !dbcast_obs::enabled() {
             return Err(CliError::FeatureRequired {
-                option: if listen.is_some() { "--listen" } else { "--postmortem-dir" },
+                option: if listen.is_some() {
+                    "--listen"
+                } else if postmortem_dir.is_some() {
+                    "--postmortem-dir"
+                } else {
+                    "--watch"
+                },
                 feature: "obs",
             });
         }
     }
+    let watch_rules = match &watch {
+        None => Vec::new(),
+        Some(specs) => dbcast_scope::parse_rules(specs)
+            .map_err(|e| CliError::InvalidOption(format!("--watch: {e}")))?,
+    };
 
     let slo_trigger = args.switch("slo-trigger");
-    let slo = match (args.opt::<f64>("slo")?, slo_trigger) {
-        (None, false) => None,
-        (tol, trigger) => {
+    // --slo-multiplier scales the per-request breach threshold; values
+    // below 1 make breaches easy to provoke, which is how CI drills
+    // force a watchdog firing on an otherwise healthy run.
+    let slo_multiplier = args.opt::<f64>("slo-multiplier")?;
+    let slo = match (args.opt::<f64>("slo")?, slo_trigger, slo_multiplier) {
+        (None, false, None) => None,
+        (tol, trigger, mult) => {
             let tolerance = tol.unwrap_or(SloConfig::default().tolerance);
             if tolerance <= 0.0 {
                 return Err(CliError::InvalidOption(format!(
                     "--slo {tolerance} must be positive"
                 )));
             }
-            Some(SloConfig { tolerance, trigger, ..SloConfig::default() })
+            let breach_multiplier = mult.unwrap_or(SloConfig::default().breach_multiplier);
+            if breach_multiplier <= 0.0 {
+                return Err(CliError::InvalidOption(format!(
+                    "--slo-multiplier {breach_multiplier} must be positive"
+                )));
+            }
+            Some(SloConfig {
+                tolerance,
+                trigger,
+                breach_multiplier,
+                ..SloConfig::default()
+            })
         }
     };
 
@@ -104,6 +132,24 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
         dbcast_flight::postmortem::set_dir(Some(std::path::PathBuf::from(dir)));
         dbcast_flight::postmortem::install_panic_hook();
     }
+    // The scope sampler runs whenever it has a consumer: a live
+    // /series endpoint under --listen, or watchdog rules from --watch.
+    let sampler = if listen.is_some() || watch.is_some() {
+        let sample_ms = args.opt_or("sample-ms", 250u64)?;
+        if sample_ms == 0 {
+            return Err(CliError::InvalidOption(
+                "--sample-ms 0; the sampler needs a positive cadence".to_string(),
+            ));
+        }
+        Some(dbcast_scope::Sampler::start(
+            std::sync::Arc::new(dbcast_scope::SeriesStore::default()),
+            dbcast_scope::Watchdog::new(watch_rules),
+            std::time::Duration::from_millis(sample_ms),
+        )?)
+    } else {
+        None
+    };
+
     let exposition = match &listen {
         None => None,
         Some(addr) => {
@@ -119,10 +165,21 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
                     dbcast_flight::recorder().recorded()
                 )
             });
-            let server = dbcast_flight::ExpositionServer::bind(addr.as_str(), status)?;
+            let mut routes = Vec::new();
+            if let Some(s) = &sampler {
+                let store = std::sync::Arc::clone(s.store());
+                routes.push(dbcast_flight::Route::json("/series", move || {
+                    dbcast_scope::render_store(&store)
+                }));
+            }
+            let server = dbcast_flight::ExpositionServer::bind_with_routes(
+                addr.as_str(),
+                status,
+                routes,
+            )?;
             writeln!(
                 out,
-                "exposing /metrics, /flight and /status on http://{}",
+                "exposing /metrics, /flight, /status and /series on http://{}",
                 server.addr()
             )?;
             Some(server)
@@ -130,16 +187,20 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
     };
 
     let runtime = ServeRuntime::new(&db, config)?;
-    let report = runtime.run(&trace)?;
+    let run_result = runtime.run(&trace);
     if let Some(mut server) = exposition {
         server.shutdown();
     }
+    // Stop (with a final scrape + watchdog pass) even when the run
+    // errored, so the thread never outlives the command.
+    let firings = sampler.map(dbcast_scope::Sampler::stop).unwrap_or_default();
+    let report = run_result?;
 
     if args.switch("json") {
         serde_json::to_writer_pretty(&mut *out, &report)
             .map_err(|e| std::io::Error::other(e.to_string()))?;
         writeln!(out)?;
-        return Ok(());
+        return finish_watchdog(firings, out);
     }
 
     writeln!(out, "requests served: {}", report.requests)?;
@@ -209,7 +270,32 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
             )?;
         }
     }
-    Ok(())
+    finish_watchdog(firings, out)
+}
+
+/// Reports watchdog firings and turns any into a non-zero exit — the
+/// contract CI drills rely on.
+fn finish_watchdog(
+    firings: Vec<dbcast_scope::Firing>,
+    out: &mut impl std::io::Write,
+) -> Result<(), CliError> {
+    if firings.is_empty() {
+        return Ok(());
+    }
+    for f in &firings {
+        writeln!(
+            out,
+            "watchdog fired: {} (observed {:.4} at tick {}, t+{:.1}s)",
+            f.rule,
+            f.observed,
+            f.tick,
+            f.wall_ms as f64 / 1000.0
+        )?;
+        if let Some(p) = &f.postmortem {
+            writeln!(out, "  postmortem: {}", p.display())?;
+        }
+    }
+    Err(CliError::Watchdog { firings: firings.len() })
 }
 
 /// Builds the request stream: `--replay PATH` wins; otherwise a Poisson

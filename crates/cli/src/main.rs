@@ -39,7 +39,10 @@ COMMANDS:
     conformance     Fuzz every allocator against the invariant suite
     perf            Run the pinned benchmark suite; gate against a baseline
     flight          Inspect flight-recorder artifacts (dump | check-metrics |
-                    catalog)
+                    check-series | catalog)
+    top             Live operator console over a serving process's /series
+                    endpoint (sparklines for req/s, drift, SLO burn, Eq. 2
+                    per-channel waits)
 
 COMMON OPTIONS:
     --db PATH         Load a workload from JSON (otherwise one is generated)
@@ -86,6 +89,14 @@ COMMAND-SPECIFIC:
                --pace-ms N    sleep N wall-clock ms per tick (lets an
                               external scraper watch a replay live)
                --inject-panic-at-tick T   panic at tick T (postmortem test)
+               --sample-ms N  scope sampler cadence (with --listen or
+                              --watch)                        [default: 250]
+               --watch SPECS  `;`-separated watchdog rules, e.g.
+                              \"serve.slo.burn_rate > 1 for 2s;
+                              stall(serve.swaps) while serve.drift_distance
+                              > 0.3 for 40 ticks\"; any firing exits non-zero
+               --slo-multiplier X  scale the per-request breach threshold
+                              (values < 1 force breaches — CI drills)
     sweep:     --axis A       k | n | phi | theta  [default: k]
                --seeds S      average over S seeds
                --quick        3 seeds instead of 20
@@ -98,7 +109,13 @@ COMMAND-SPECIFIC:
     flight:    dump          summarize a postmortem JSON (--input FILE|DIR,
                              --last N events            [default: 16])
                check-metrics validate an OpenMetrics scrape (--input FILE)
+               check-series  validate a /series JSON document (--input FILE)
                catalog       print the metrics catalogue (docs/METRICS.md)
+    top:       --addr H:P    the serve process's --listen address (required)
+               --once        render one plain frame and exit (CI / non-TTY)
+               --interval-ms N  live refresh cadence        [default: 1000]
+               --frames N    stop after N live frames (default: forever)
+               --width N     sparkline width                [default: 40]
     perf:      --iterations N timed iterations per benchmark [default: 10]
                --warmup W     discarded warmup runs          [default: 2]
                --filter S     only benchmarks whose name contains S
@@ -169,6 +186,7 @@ fn run() -> Result<(), CliError> {
         Some("conformance") => commands::run_conformance(&args, &mut stdout),
         Some("perf") => commands::run_perf(&args, &mut stdout),
         Some("flight") => commands::run_flight(&args, &mut stdout),
+        Some("top") => commands::run_top(&args, &mut stdout),
         _ => {
             print!("{USAGE}");
             Ok(())

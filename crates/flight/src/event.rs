@@ -20,6 +20,7 @@
 /// | `SloBreach` | budget burn rate | slow requests so far |
 /// | `SloTrigger` | budget burn rate | generation |
 /// | `Fault` | — | fault code (free-form) |
+/// | `Watchdog` | observed signal value | rule index |
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum EventKind {
@@ -43,11 +44,13 @@ pub enum EventKind {
     SloTrigger = 8,
     /// A fault marker (injected panic, incident trigger, …).
     Fault = 9,
+    /// A scope watchdog rule fired (sustained threshold or stall).
+    Watchdog = 10,
 }
 
 impl EventKind {
     /// All kinds, for iteration in inspectors.
-    pub const ALL: [EventKind; 10] = [
+    pub const ALL: [EventKind; 11] = [
         EventKind::Tick,
         EventKind::RequestServed,
         EventKind::DriftScore,
@@ -58,6 +61,7 @@ impl EventKind {
         EventKind::SloBreach,
         EventKind::SloTrigger,
         EventKind::Fault,
+        EventKind::Watchdog,
     ];
 
     /// Stable lowercase name (used in postmortem JSON).
@@ -73,6 +77,7 @@ impl EventKind {
             EventKind::SloBreach => "slo_breach",
             EventKind::SloTrigger => "slo_trigger",
             EventKind::Fault => "fault",
+            EventKind::Watchdog => "watchdog",
         }
     }
 
@@ -89,6 +94,8 @@ impl EventKind {
             6 => EventKind::BudgetExhausted,
             7 => EventKind::SloBreach,
             8 => EventKind::SloTrigger,
+            9 => EventKind::Fault,
+            10 => EventKind::Watchdog,
             _ => EventKind::Fault,
         }
     }

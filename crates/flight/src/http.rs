@@ -4,23 +4,74 @@
 //! * `GET /metrics` — the obs registry in OpenMetrics text format,
 //! * `GET /flight`  — the flight ring as a JSON event array,
 //! * `GET /status`  — a caller-provided JSON status document,
+//! * plus any caller-registered [`Route`]s (e.g. the scope crate's
+//!   `/series` history endpoint),
 //!
 //! from a dedicated thread. Every response is built from snapshot
-//! reads (registry snapshot, ring snapshot, status closure), so a
+//! reads (registry snapshot, ring snapshot, handler closures), so a
 //! scrape never blocks the serving loop — the exposition thread and
 //! the runtime share only lock-free structures and the registry's
 //! short-lived snapshot locks.
+//!
+//! Connections are answered inline, one at a time, so the accept loop
+//! is defended against misbehaving clients: every stream carries a
+//! read and a write timeout (a client that connects and never writes
+//! can stall scrapes for at most [`READ_TIMEOUT`], not forever), and
+//! a request whose header section exceeds the buffer is answered
+//! `431` instead of being read without bound.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::recorder;
 
 /// Produces the `/status` JSON body on demand.
 pub type StatusFn = Box<dyn Fn() -> String + Send + Sync>;
+
+/// How long a connected client may sit silent before its stream is
+/// dropped and the accept loop moves on.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// How long a response write may block on an unread socket.
+pub const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Largest request header section accepted (everything up to the
+/// `\r\n\r\n` terminator); longer requests are answered `431`.
+pub const MAX_REQUEST_BYTES: usize = 4096;
+
+/// A caller-registered endpoint served alongside the built-in three.
+pub struct Route {
+    /// Absolute path, e.g. `/series`.
+    pub path: String,
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Builds the response body per request.
+    pub handler: Box<dyn Fn() -> String + Send + Sync>,
+}
+
+impl Route {
+    /// A JSON route (the common case for telemetry documents).
+    pub fn json(
+        path: impl Into<String>,
+        handler: impl Fn() -> String + Send + Sync + 'static,
+    ) -> Route {
+        Route {
+            path: path.into(),
+            content_type: "application/json; charset=utf-8",
+            handler: Box::new(handler),
+        }
+    }
+}
+
+impl std::fmt::Debug for Route {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Route").field("path", &self.path).finish()
+    }
+}
 
 /// A running exposition endpoint. Dropping it (or calling
 /// [`shutdown`](Self::shutdown)) stops the thread.
@@ -44,6 +95,20 @@ impl ExpositionServer {
     ///
     /// Propagates bind failures (address in use, permission denied).
     pub fn bind(addr: impl ToSocketAddrs, status: StatusFn) -> io::Result<Self> {
+        Self::bind_with_routes(addr, status, Vec::new())
+    }
+
+    /// [`bind`](Self::bind) plus extra [`Route`]s. A route whose path
+    /// collides with a built-in endpoint is shadowed by the built-in.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (address in use, permission denied).
+    pub fn bind_with_routes(
+        addr: impl ToSocketAddrs,
+        status: StatusFn,
+        routes: Vec<Route>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -57,8 +122,10 @@ impl ExpositionServer {
                     if let Ok(stream) = conn {
                         // One request per connection, answered inline:
                         // scrapes are rare and tiny, a thread pool
-                        // would be ceremony.
-                        let _ = handle_connection(stream, &status);
+                        // would be ceremony. The per-stream timeouts
+                        // bound how long one bad client can hold the
+                        // loop.
+                        let _ = handle_connection(stream, &status, &routes);
                     }
                 }
             },
@@ -109,11 +176,21 @@ pub fn flight_json() -> String {
     out
 }
 
-fn handle_connection(mut stream: TcpStream, status: &StatusFn) -> io::Result<()> {
+fn handle_connection(
+    mut stream: TcpStream,
+    status: &StatusFn,
+    routes: &[Route],
+) -> io::Result<()> {
+    // A silent or trickling client gets at most READ_TIMEOUT of the
+    // accept loop's attention; an unread response write gives up after
+    // WRITE_TIMEOUT instead of wedging every later scrape.
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
     // Read until the header terminator (requests can arrive split
     // across TCP segments); scrapes carry no body worth waiting for.
-    let mut buf = [0u8; 2048];
+    let mut buf = [0u8; MAX_REQUEST_BYTES];
     let mut filled = 0;
+    let mut terminated = false;
     while filled < buf.len() {
         let n = stream.read(&mut buf[filled..])?;
         if n == 0 {
@@ -121,31 +198,52 @@ fn handle_connection(mut stream: TcpStream, status: &StatusFn) -> io::Result<()>
         }
         filled += n;
         if buf[..filled].windows(4).any(|w| w == b"\r\n\r\n") {
+            terminated = true;
             break;
         }
     }
-    let request = String::from_utf8_lossy(&buf[..filled]);
-    let mut parts = request.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let (code, reason, content_type, body) = if method != "GET" {
-        ("405", "Method Not Allowed", "text/plain; charset=utf-8", "GET only\n".to_string())
+    let oversized = filled == buf.len() && !terminated;
+    let (code, reason, content_type, body) = if oversized {
+        (
+            "431",
+            "Request Header Fields Too Large",
+            "text/plain; charset=utf-8",
+            format!("request headers exceed {MAX_REQUEST_BYTES} bytes\n"),
+        )
     } else {
-        match path {
-            "/metrics" => (
-                "200",
-                "OK",
-                "application/openmetrics-text; version=1.0.0; charset=utf-8",
-                dbcast_obs::openmetrics::render_global(),
-            ),
-            "/flight" => ("200", "OK", "application/json; charset=utf-8", flight_json()),
-            "/status" => ("200", "OK", "application/json; charset=utf-8", status()),
-            _ => (
-                "404",
-                "Not Found",
+        let request = String::from_utf8_lossy(&buf[..filled]);
+        let mut parts = request.split_whitespace();
+        let method = parts.next().unwrap_or("");
+        let path = parts.next().unwrap_or("");
+        if method != "GET" {
+            (
+                "405",
+                "Method Not Allowed",
                 "text/plain; charset=utf-8",
-                "endpoints: /metrics /flight /status\n".to_string(),
-            ),
+                "GET only\n".to_string(),
+            )
+        } else {
+            match path {
+                "/metrics" => (
+                    "200",
+                    "OK",
+                    "application/openmetrics-text; version=1.0.0; charset=utf-8",
+                    dbcast_obs::openmetrics::render_global(),
+                ),
+                "/flight" => {
+                    ("200", "OK", "application/json; charset=utf-8", flight_json())
+                }
+                "/status" => ("200", "OK", "application/json; charset=utf-8", status()),
+                other => match routes.iter().find(|r| r.path == other) {
+                    Some(route) => ("200", "OK", route.content_type, (route.handler)()),
+                    None => (
+                        "404",
+                        "Not Found",
+                        "text/plain; charset=utf-8",
+                        not_found_body(routes),
+                    ),
+                },
+            }
         }
     };
     let response = format!(
@@ -154,7 +252,30 @@ fn handle_connection(mut stream: TcpStream, status: &StatusFn) -> io::Result<()>
         body.len()
     );
     stream.write_all(response.as_bytes())?;
-    stream.flush()
+    stream.flush()?;
+    if oversized {
+        // Drain (a bounded amount of) the rest of the request so the
+        // close is a graceful FIN, not an RST that races the client
+        // out of reading the 431. The read timeout still bounds this.
+        let mut budget = 64 * 1024;
+        while budget > 0 {
+            match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => budget -= n.min(budget),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn not_found_body(routes: &[Route]) -> String {
+    let mut body = String::from("endpoints: /metrics /flight /status");
+    for r in routes {
+        body.push(' ');
+        body.push_str(&r.path);
+    }
+    body.push('\n');
+    body
 }
 
 #[cfg(test)]
@@ -166,6 +287,10 @@ mod tests {
         let mut stream = TcpStream::connect(addr).unwrap();
         let request = format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n");
         stream.write_all(request.as_bytes()).unwrap();
+        read_response(stream)
+    }
+
+    fn read_response(stream: TcpStream) -> (String, String) {
         let mut reader = std::io::BufReader::new(stream);
         let mut status_line = String::new();
         reader.read_line(&mut status_line).unwrap();
@@ -211,5 +336,55 @@ mod tests {
         server.shutdown();
         // A second shutdown is a no-op.
         server.shutdown();
+    }
+
+    #[test]
+    fn custom_routes_are_served_and_advertised() {
+        let server = ExpositionServer::bind_with_routes(
+            "127.0.0.1:0",
+            Box::new(|| "{}".to_string()),
+            vec![Route::json("/series", || "{\"schema\": 1}".to_string())],
+        )
+        .unwrap();
+        let (status, body) = get(server.addr(), "/series");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "{\"schema\": 1}");
+        let (status, body) = get(server.addr(), "/missing");
+        assert!(status.contains("404"), "{status}");
+        assert!(body.contains("/series"), "404 should advertise routes: {body}");
+    }
+
+    #[test]
+    fn stalled_client_cannot_block_later_scrapes() {
+        let server =
+            ExpositionServer::bind("127.0.0.1:0", Box::new(|| "{}".to_string())).unwrap();
+        let addr = server.addr();
+        // Connects and never writes: without per-stream timeouts this
+        // held the inline accept loop hostage indefinitely.
+        let stalled = TcpStream::connect(addr).unwrap();
+        let started = std::time::Instant::now();
+        let (status, _) = get(addr, "/status");
+        assert!(status.contains("200"), "{status}");
+        // The scrape waited out at most one read timeout (plus margin).
+        assert!(
+            started.elapsed() < READ_TIMEOUT + Duration::from_secs(4),
+            "scrape took {:?}",
+            started.elapsed()
+        );
+        drop(stalled);
+    }
+
+    #[test]
+    fn oversized_request_headers_get_431() {
+        let server =
+            ExpositionServer::bind("127.0.0.1:0", Box::new(|| "{}".to_string())).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let huge = format!(
+            "GET /metrics HTTP/1.1\r\nX-Padding: {}\r\n\r\n",
+            "x".repeat(2 * MAX_REQUEST_BYTES)
+        );
+        stream.write_all(huge.as_bytes()).unwrap();
+        let (status, _) = read_response(stream);
+        assert!(status.contains("431"), "{status}");
     }
 }

@@ -29,7 +29,7 @@ pub mod postmortem;
 pub mod ring;
 
 pub use event::{EventKind, FlightEvent};
-pub use http::ExpositionServer;
+pub use http::{ExpositionServer, Route};
 pub use ring::FlightRing;
 
 use std::sync::OnceLock;

@@ -251,6 +251,36 @@ pub const CATALOG: &[MetricDef] = &[
         help: "Invariant violations found across all conformance runs",
     },
     MetricDef {
+        name: "scope.sampler.scrape",
+        kind: MetricKind::Histogram,
+        unit: "ns",
+        help: "Span: one scope sampler scrape (registry snapshot + series append)",
+    },
+    MetricDef {
+        name: "scope.sampler.scrapes",
+        kind: MetricKind::Counter,
+        unit: "1",
+        help: "Registry scrapes taken by the scope time-series sampler",
+    },
+    MetricDef {
+        name: "scope.watchdog.firings",
+        kind: MetricKind::Counter,
+        unit: "1",
+        help: "Scope watchdog rules that fired (sustained threshold or stall)",
+    },
+    MetricDef {
+        name: "serve.channel.expected_wait",
+        kind: MetricKind::Gauge,
+        unit: "s",
+        help: "Per-channel Eq. 2 wait contribution F_i*Z_i/(2b); indexed as .<channel>",
+    },
+    MetricDef {
+        name: "serve.channel.load",
+        kind: MetricKind::Gauge,
+        unit: "1",
+        help: "Per-channel share of access probability F_i; indexed as .<channel>",
+    },
+    MetricDef {
         name: "serve.drift_distance",
         kind: MetricKind::Gauge,
         unit: "1",
@@ -410,8 +440,20 @@ pub const CATALOG: &[MetricDef] = &[
 
 /// Looks up a metric's definition by registry name (binary search —
 /// the catalogue is sorted).
+///
+/// Indexed families record under `<family>.<index>` (for example the
+/// per-channel gauges `serve.channel.load.3`); a name whose last
+/// segment is all digits falls back to its family's entry, so indexed
+/// members stay catalogued without one row per index.
 pub fn describe(name: &str) -> Option<&'static MetricDef> {
-    CATALOG.binary_search_by(|d| d.name.cmp(name)).ok().map(|i| &CATALOG[i])
+    let exact = CATALOG.binary_search_by(|d| d.name.cmp(name)).ok().map(|i| &CATALOG[i]);
+    exact.or_else(|| {
+        let (family, index) = name.rsplit_once('.')?;
+        if index.is_empty() || !index.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        CATALOG.binary_search_by(|d| d.name.cmp(family)).ok().map(|i| &CATALOG[i])
+    })
 }
 
 /// Renders the catalogue as the body of `docs/METRICS.md`. A test
@@ -465,6 +507,17 @@ mod tests {
             assert_eq!(found.name, d.name);
         }
         assert!(describe("no.such.metric").is_none());
+    }
+
+    #[test]
+    fn describe_resolves_indexed_family_members() {
+        let def = describe("serve.channel.load.7").expect("indexed member resolves");
+        assert_eq!(def.name, "serve.channel.load");
+        let def = describe("serve.channel.expected_wait.0").unwrap();
+        assert_eq!(def.name, "serve.channel.expected_wait");
+        // The fallback only strips an all-digit final segment.
+        assert!(describe("serve.channel.load.x1").is_none());
+        assert!(describe("serve.channel.nope.3").is_none());
     }
 
     #[test]

@@ -121,6 +121,17 @@ impl Registry {
 
     /// Takes a point-in-time copy of every metric and trace.
     pub fn snapshot(&self) -> snapshot::Snapshot {
+        let mut snap = self.metrics_snapshot();
+        snap.traces = self.traces.lock().expect("registry poisoned").clone();
+        snap
+    }
+
+    /// Like [`snapshot`](Self::snapshot) but with `traces` left
+    /// empty. Convergence traces grow without bound over a run, so a
+    /// periodic scraper that only reads scalar metrics (the scope
+    /// sampler) would otherwise pay a clone whose cost scales with
+    /// run length on every cadence tick.
+    pub fn metrics_snapshot(&self) -> snapshot::Snapshot {
         snapshot::Snapshot {
             counters: self
                 .counters
@@ -143,7 +154,38 @@ impl Registry {
                 .iter()
                 .map(|(n, h)| (n.clone(), h.snapshot()))
                 .collect(),
-            traces: self.traces.lock().expect("registry poisoned").clone(),
+            traces: Vec::new(),
+        }
+    }
+
+    /// The current value of the counter registered under `name`,
+    /// without interning a new one when absent.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters.lock().expect("registry poisoned").get(name).map(|c| c.get())
+    }
+
+    /// Visits every counter as `(name, value)` in sorted-name order
+    /// without building a snapshot. The registry's counter table is
+    /// locked for the duration, so `f` must not intern new counters.
+    pub fn for_each_counter(&self, mut f: impl FnMut(&str, u64)) {
+        for (n, c) in self.counters.lock().expect("registry poisoned").iter() {
+            f(n, c.get());
+        }
+    }
+
+    /// Visits every gauge; same locking caveat as
+    /// [`for_each_counter`](Self::for_each_counter).
+    pub fn for_each_gauge(&self, mut f: impl FnMut(&str, f64)) {
+        for (n, g) in self.gauges.lock().expect("registry poisoned").iter() {
+            f(n, g.get());
+        }
+    }
+
+    /// Visits every histogram; same locking caveat as
+    /// [`for_each_counter`](Self::for_each_counter).
+    pub fn for_each_histogram(&self, mut f: impl FnMut(&str, &Histogram)) {
+        for (n, h) in self.histograms.lock().expect("registry poisoned").iter() {
+            f(n, h);
         }
     }
 

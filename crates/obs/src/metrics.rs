@@ -163,6 +163,12 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Dense per-bucket cumulative counts (one relaxed load per
+    /// bucket; no allocation).
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
     /// Mean observation, or `None` when empty.
     pub fn mean(&self) -> Option<f64> {
         let n = self.count();
@@ -252,8 +258,16 @@ impl Histogram {
     /// ([`percentile_midpoint`](Self::percentile_midpoint)), not the
     /// pessimistic bucket upper bounds.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // Read the buckets *before* the count: a record racing this
+        // snapshot (bucket bumped, count not yet) then at worst
+        // inflates `count` past the bucket total, never the other way
+        // around — so the cumulative OpenMetrics bucket series always
+        // stays <= the `+Inf`/`_count` line. The clamp covers a
+        // record landing wholly between the two reads.
+        let buckets = self.nonzero_buckets();
+        let bucket_total: u64 = buckets.iter().map(|&(_, c)| c).sum();
         HistogramSnapshot {
-            count: self.count(),
+            count: self.count().max(bucket_total),
             sum: self.sum(),
             mean: self.mean().unwrap_or(0.0),
             min: self.min().unwrap_or(0),
@@ -262,7 +276,7 @@ impl Histogram {
             p90: self.percentile_midpoint(90.0).unwrap_or(0),
             p95: self.percentile_midpoint(95.0).unwrap_or(0),
             p99: self.percentile_midpoint(99.0).unwrap_or(0),
-            buckets: self.nonzero_buckets(),
+            buckets,
         }
     }
 

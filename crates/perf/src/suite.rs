@@ -178,6 +178,38 @@ pub fn standard_suite() -> Vec<Benchmark> {
         }
     }));
 
+    // One sampler scrape over a registry populated with the serving
+    // runtime's metric families (per-channel gauges, SLO gauges, a
+    // warm wait histogram): snapshot + bounded per-metric append +
+    // watchdog evaluation. This is the always-on telemetry tax, so
+    // its median is pinned to ≤2% of the serve-loop median by the
+    // contract test below.
+    {
+        let r = dbcast_obs::registry();
+        for i in 0..6 {
+            r.gauge(&format!("serve.channel.load.{i}")).force_set(1.0 + i as f64);
+            r.gauge(&format!("serve.channel.expected_wait.{i}")).force_set(0.3 * i as f64);
+        }
+        r.gauge("serve.drift_distance").force_set(0.1);
+        r.gauge("serve.slo.burn_rate").force_set(0.2);
+        let wait = r.histogram("serve.wait_time");
+        for i in 0..512u64 {
+            wait.force_record(i * 37);
+        }
+    }
+    let scope_store = dbcast_scope::SeriesStore::default();
+    let scope_watchdog = std::sync::Mutex::new(dbcast_scope::Watchdog::new(
+        dbcast_scope::parse_rules("rate(serve.requests) > 1000000000 for 60s")
+            .expect("pinned watchdog rule is valid"),
+    ));
+    suite.push(Benchmark::new("scope_sampler", move || {
+        let r = dbcast_obs::registry();
+        r.counter("serve.ticks").force_add(1);
+        r.counter("serve.requests").force_add(50);
+        dbcast_scope::sample_once(&scope_store, &scope_watchdog);
+        black_box(scope_store.latest_tick());
+    }));
+
     suite
 }
 
@@ -200,8 +232,28 @@ mod tests {
                 "sim_engine",
                 "conformance_gen",
                 "serve_loop",
-                "serve_swap"
+                "serve_swap",
+                "scope_sampler"
             ]
+        );
+    }
+
+    #[test]
+    fn sampler_overhead_is_pinned_in_the_bench_contract() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json");
+        let baseline = crate::BenchReport::load(std::path::Path::new(path))
+            .expect("committed baseline loads");
+        let sampler = baseline
+            .benchmark("scope_sampler")
+            .expect("baseline carries the sampler benchmark");
+        let serve = baseline
+            .benchmark("serve_loop")
+            .expect("baseline carries the serve-loop benchmark");
+        assert!(
+            sampler.median_ns <= 0.02 * serve.median_ns,
+            "sampler scrape ({} ns) exceeds 2% of the serve-loop median ({} ns)",
+            sampler.median_ns,
+            serve.median_ns,
         );
     }
 

@@ -10,12 +10,17 @@ use dbcast_perf::{
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
 
+/// The allocation counters are process-wide, so parallel test threads
+/// would bleed allocations into each other's exact-delta windows.
+static COUNTER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 fn options(iterations: usize) -> RunOptions {
     RunOptions { iterations, warmup: 1, profile: false }
 }
 
 #[test]
 fn deliberate_slowdown_trips_the_gate() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let work = || {
         // Deterministic busywork, microseconds per iteration.
         let v: Vec<u64> = (0..512).collect();
@@ -49,6 +54,7 @@ fn deliberate_slowdown_trips_the_gate() {
 
 #[test]
 fn allocation_deltas_are_counted_and_stable() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let mut suite = vec![Benchmark::new("fixed_alloc", || {
         let v: Vec<u8> = Vec::with_capacity(4096);
         std::hint::black_box(&v);
@@ -79,10 +85,11 @@ fn allocation_deltas_are_counted_and_stable() {
 
 #[test]
 fn standard_suite_measures_every_benchmark() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let mut suite = standard_suite();
     let report =
         run_suite(&mut suite, &RunOptions { iterations: 1, warmup: 0, profile: true });
-    assert_eq!(report.benchmarks.len(), 9);
+    assert_eq!(report.benchmarks.len(), 10);
     for rec in &report.benchmarks {
         assert!(rec.median_ns > 0.0, "{} measured zero time", rec.name);
         assert!(rec.allocs_available);

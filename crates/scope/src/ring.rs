@@ -1,0 +1,135 @@
+//! A fixed-capacity overwrite-oldest ring. All series storage in this
+//! crate sits on top of it, so the memory held per metric is bounded
+//! at construction time and the steady-state append path never
+//! allocates (the backing `Vec` is grown once, up to capacity, and
+//! then reused in place).
+
+/// Fixed-capacity ring over `Copy` elements; pushing beyond capacity
+/// overwrites the oldest element.
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    buf: Vec<T>,
+    /// Index the next push writes to once the buffer has wrapped.
+    head: usize,
+    capacity: usize,
+}
+
+impl<T: Copy> Ring<T> {
+    /// An empty ring holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero — a zero-capacity ring can never
+    /// hold a sample and indicates a misconfigured store.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Ring { buf: Vec::with_capacity(capacity), head: 0, capacity }
+    }
+
+    /// Appends `value`, evicting the oldest element when full.
+    pub fn push(&mut self, value: T) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(value);
+        } else {
+            self.buf[self.head] = value;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Elements currently held (saturates at capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The most recently pushed element.
+    pub fn latest(&self) -> Option<T> {
+        if self.buf.is_empty() {
+            None
+        } else if self.buf.len() < self.capacity {
+            self.buf.last().copied()
+        } else {
+            let i = (self.head + self.capacity - 1) % self.capacity;
+            Some(self.buf[i])
+        }
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        let (wrapped, fresh) = self.buf.split_at(self.head);
+        fresh.iter().chain(wrapped.iter()).copied()
+    }
+
+    /// Copies the contents oldest → newest.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.iter().collect()
+    }
+
+    /// The element `back` positions before the newest (`back == 0` is
+    /// the newest), or the oldest held element when `back` reaches
+    /// past the start of the window.
+    pub fn back_or_oldest(&self, back: usize) -> Option<T> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let idx = self.buf.len().saturating_sub(1).saturating_sub(back);
+        self.iter().nth(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_overwrites_oldest() {
+        let mut r = Ring::new(3);
+        assert!(r.is_empty());
+        assert_eq!(r.latest(), None);
+        for v in 0..5 {
+            r.push(v);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.to_vec(), vec![2, 3, 4]);
+        assert_eq!(r.latest(), Some(4));
+    }
+
+    #[test]
+    fn iteration_is_oldest_to_newest_before_and_after_wrap() {
+        let mut r = Ring::new(4);
+        r.push(10);
+        r.push(11);
+        assert_eq!(r.to_vec(), vec![10, 11]);
+        for v in 12..18 {
+            r.push(v);
+        }
+        assert_eq!(r.to_vec(), vec![14, 15, 16, 17]);
+    }
+
+    #[test]
+    fn back_or_oldest_clamps_to_window_start() {
+        let mut r = Ring::new(3);
+        for v in 0..3 {
+            r.push(v);
+        }
+        assert_eq!(r.back_or_oldest(0), Some(2));
+        assert_eq!(r.back_or_oldest(1), Some(1));
+        assert_eq!(r.back_or_oldest(2), Some(0));
+        assert_eq!(r.back_or_oldest(99), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Ring::<u64>::new(0);
+    }
+}

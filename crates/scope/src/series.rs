@@ -1,0 +1,310 @@
+//! One metric's windowed history: a raw sample ring plus two
+//! decimated tiers. Each tier bin keeps min/max/mean/last so spikes
+//! survive decimation — a drift excursion that lasted three samples is
+//! still visible in the coarse tier's `max` long after the raw window
+//! has rotated past it.
+
+use crate::ring::Ring;
+
+/// Raw samples folded into one mid-tier bin.
+pub const TIER_MID_FACTOR: usize = 10;
+/// Raw samples folded into one coarse-tier bin.
+pub const TIER_COARSE_FACTOR: usize = 100;
+
+/// How a series' values evolve, which decides what derived views make
+/// sense (rates only exist for counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Last-write-wins level (drift distance, burn rate, `W_i`, …).
+    Gauge,
+    /// Monotone cumulative count; dips mean the source reset.
+    Counter,
+}
+
+impl SeriesKind {
+    /// Stable lowercase name used in the `/series` JSON schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::Counter => "counter",
+        }
+    }
+
+    /// Parses the JSON schema name.
+    pub fn from_name(s: &str) -> Option<SeriesKind> {
+        match s {
+            "gauge" => Some(SeriesKind::Gauge),
+            "counter" => Some(SeriesKind::Counter),
+            _ => None,
+        }
+    }
+}
+
+/// One scraped observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Serving-loop virtual tick at scrape time (0 before serving).
+    pub tick: u64,
+    /// Milliseconds since the store was created.
+    pub wall_ms: u64,
+    /// The metric's value at scrape time.
+    pub value: f64,
+}
+
+/// A decimated bin: the aggregate of `count` consecutive raw samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bin {
+    /// Tick of the first folded sample.
+    pub start_tick: u64,
+    /// Tick of the last folded sample.
+    pub end_tick: u64,
+    /// Wall clock of the first folded sample (ms since store start).
+    pub start_wall_ms: u64,
+    /// Wall clock of the last folded sample.
+    pub end_wall_ms: u64,
+    /// Raw samples folded in.
+    pub count: u64,
+    /// Smallest folded value.
+    pub min: f64,
+    /// Largest folded value.
+    pub max: f64,
+    /// Sum of folded values (`mean()` divides by `count`).
+    pub sum: f64,
+    /// Most recent folded value.
+    pub last: f64,
+}
+
+impl Bin {
+    fn seed(s: Sample) -> Bin {
+        Bin {
+            start_tick: s.tick,
+            end_tick: s.tick,
+            start_wall_ms: s.wall_ms,
+            end_wall_ms: s.wall_ms,
+            count: 1,
+            min: s.value,
+            max: s.value,
+            sum: s.value,
+            last: s.value,
+        }
+    }
+
+    fn fold(&mut self, s: Sample) {
+        self.end_tick = s.tick;
+        self.end_wall_ms = s.wall_ms;
+        self.count += 1;
+        self.min = self.min.min(s.value);
+        self.max = self.max.max(s.value);
+        self.sum += s.value;
+        self.last = s.value;
+    }
+
+    /// Mean of the folded samples.
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+/// Accumulates raw samples into bins of a fixed decimation factor.
+#[derive(Debug, Clone)]
+struct TierAcc {
+    factor: usize,
+    pending: Option<Bin>,
+}
+
+impl TierAcc {
+    fn new(factor: usize) -> Self {
+        TierAcc { factor, pending: None }
+    }
+
+    /// Folds one sample; returns the completed bin when the factor is
+    /// reached.
+    fn push(&mut self, s: Sample) -> Option<Bin> {
+        match &mut self.pending {
+            None => {
+                self.pending = Some(Bin::seed(s));
+            }
+            Some(bin) => bin.fold(s),
+        }
+        if self.pending.as_ref().is_some_and(|b| b.count as usize >= self.factor) {
+            self.pending.take()
+        } else {
+            None
+        }
+    }
+}
+
+/// One metric's bounded multi-resolution history.
+#[derive(Debug, Clone)]
+pub struct Series {
+    kind: SeriesKind,
+    raw: Ring<Sample>,
+    mid: Ring<Bin>,
+    coarse: Ring<Bin>,
+    mid_acc: TierAcc,
+    coarse_acc: TierAcc,
+}
+
+impl Series {
+    /// An empty series. `raw_capacity` bounds the raw ring;
+    /// `tier_capacity` bounds each decimated tier.
+    pub fn new(kind: SeriesKind, raw_capacity: usize, tier_capacity: usize) -> Self {
+        Series {
+            kind,
+            raw: Ring::new(raw_capacity),
+            mid: Ring::new(tier_capacity),
+            coarse: Ring::new(tier_capacity),
+            mid_acc: TierAcc::new(TIER_MID_FACTOR),
+            coarse_acc: TierAcc::new(TIER_COARSE_FACTOR),
+        }
+    }
+
+    /// The series' kind.
+    pub fn kind(&self) -> SeriesKind {
+        self.kind
+    }
+
+    /// Appends one sample, flushing completed tier bins.
+    pub fn push(&mut self, s: Sample) {
+        self.raw.push(s);
+        if let Some(bin) = self.mid_acc.push(s) {
+            self.mid.push(bin);
+        }
+        if let Some(bin) = self.coarse_acc.push(s) {
+            self.coarse.push(bin);
+        }
+    }
+
+    /// The newest sample.
+    pub fn latest(&self) -> Option<Sample> {
+        self.raw.latest()
+    }
+
+    /// Raw samples oldest → newest.
+    pub fn raw(&self) -> Vec<Sample> {
+        self.raw.to_vec()
+    }
+
+    /// Completed mid-tier bins oldest → newest (the in-progress
+    /// accumulator is not included).
+    pub fn mid(&self) -> Vec<Bin> {
+        self.mid.to_vec()
+    }
+
+    /// Completed coarse-tier bins oldest → newest.
+    pub fn coarse(&self) -> Vec<Bin> {
+        self.coarse.to_vec()
+    }
+
+    /// Counter → per-second rate over the retained raw window. Gauges
+    /// return an empty vec. See [`derive_rates`] for semantics.
+    pub fn rates(&self) -> Vec<Sample> {
+        match self.kind {
+            SeriesKind::Gauge => Vec::new(),
+            SeriesKind::Counter => derive_rates(&self.raw.to_vec()),
+        }
+    }
+
+    /// The newest per-second rate, when derivable.
+    pub fn latest_rate(&self) -> Option<f64> {
+        self.rates().last().map(|s| s.value)
+    }
+}
+
+/// Derives per-second rates from consecutive cumulative samples.
+///
+/// * `rate = Δvalue / Δwall_s`, stamped at the later sample;
+/// * pairs with `Δwall_ms == 0` are skipped (no meaningful rate);
+/// * a negative delta means the source counter reset — the later
+///   sample's absolute value is taken as the delta (everything counted
+///   since the reset happened within the interval), so rates are
+///   always non-negative.
+pub fn derive_rates(raw: &[Sample]) -> Vec<Sample> {
+    let mut out = Vec::with_capacity(raw.len().saturating_sub(1));
+    for pair in raw.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        let dt_ms = b.wall_ms.saturating_sub(a.wall_ms);
+        if dt_ms == 0 {
+            continue;
+        }
+        let delta = if b.value >= a.value { b.value - a.value } else { b.value.max(0.0) };
+        let rate = delta / (dt_ms as f64 / 1000.0);
+        out.push(Sample { tick: b.tick, wall_ms: b.wall_ms, value: rate });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(tick: u64, wall_ms: u64, value: f64) -> Sample {
+        Sample { tick, wall_ms, value }
+    }
+
+    #[test]
+    fn tiers_flush_at_their_factors() {
+        let mut series = Series::new(SeriesKind::Gauge, 1000, 100);
+        for i in 0..250u64 {
+            series.push(s(i, i * 10, i as f64));
+        }
+        assert_eq!(series.raw().len(), 250);
+        assert_eq!(series.mid().len(), 25);
+        assert_eq!(series.coarse().len(), 2);
+
+        let first_mid = series.mid()[0];
+        assert_eq!(first_mid.count, 10);
+        assert_eq!(first_mid.min, 0.0);
+        assert_eq!(first_mid.max, 9.0);
+        assert_eq!(first_mid.last, 9.0);
+        assert!((first_mid.mean() - 4.5).abs() < 1e-12);
+        assert_eq!(first_mid.start_tick, 0);
+        assert_eq!(first_mid.end_tick, 9);
+
+        let first_coarse = series.coarse()[0];
+        assert_eq!(first_coarse.count, 100);
+        assert_eq!(first_coarse.min, 0.0);
+        assert_eq!(first_coarse.max, 99.0);
+        assert!((first_coarse.mean() - 49.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spikes_survive_decimation() {
+        let mut series = Series::new(SeriesKind::Gauge, 10, 100);
+        for i in 0..200u64 {
+            let v = if i == 42 { 1000.0 } else { 1.0 };
+            series.push(s(i, i, v));
+        }
+        // The raw ring (capacity 10) rotated past the spike long ago…
+        assert!(series.raw().iter().all(|x| x.value == 1.0));
+        // …but both tiers still carry it in `max`.
+        assert!(series.mid().iter().any(|b| b.max == 1000.0));
+        assert!(series.coarse().iter().any(|b| b.max == 1000.0));
+    }
+
+    #[test]
+    fn rates_are_per_second_and_reset_tolerant() {
+        let raw = vec![
+            s(0, 0, 0.0),
+            s(1, 1000, 50.0), // 50/s
+            s(2, 1500, 75.0), // 25 over 0.5s = 50/s
+            s(3, 1500, 80.0), // dt 0 → skipped
+            s(4, 2500, 10.0), // reset: 10 counted since, over 1s
+            s(5, 3500, 10.0), // idle
+        ];
+        let rates = derive_rates(&raw);
+        let values: Vec<f64> = rates.iter().map(|r| r.value).collect();
+        assert_eq!(values, vec![50.0, 50.0, 10.0, 0.0]);
+        assert!(rates.iter().all(|r| r.value >= 0.0));
+        assert_eq!(rates[0].wall_ms, 1000);
+    }
+
+    #[test]
+    fn gauge_series_has_no_rates() {
+        let mut series = Series::new(SeriesKind::Gauge, 10, 10);
+        series.push(s(0, 0, 1.0));
+        series.push(s(1, 100, 2.0));
+        assert!(series.rates().is_empty());
+        assert_eq!(series.latest_rate(), None);
+    }
+}

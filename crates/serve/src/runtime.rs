@@ -442,12 +442,36 @@ impl ServeRuntime {
             cost: alloc.total_cost(),
             expected_wait,
         };
-        Ok(ServeRuntime {
+        let runtime = ServeRuntime {
             config,
             sizes: db.iter().map(|d| d.size()).collect(),
             cell: Arc::new(EpochCell::new(generation)),
             metrics: ServeMetrics::resolve(),
-        })
+        };
+        runtime.publish_channel_gauges(&runtime.cell.current().value);
+        Ok(runtime)
+    }
+
+    /// Publishes the per-channel Eq. 2 gauges for the serving
+    /// generation: `serve.channel.load.<i>` is channel i's share of the
+    /// access probability (F_i over the generation's build profile) and
+    /// `serve.channel.expected_wait.<i>` its contribution to the
+    /// analytical wait, F_i·Z_i/(2b) seconds.
+    fn publish_channel_gauges(&self, gen: &ProgramGeneration) {
+        let r = dbcast_obs::registry();
+        let mut load = vec![0.0f64; self.config.channels];
+        for (item, &ch) in gen.assignment.iter().enumerate() {
+            if ch < load.len() {
+                load[ch] += gen.frequencies[item];
+            }
+        }
+        let channels = gen.program.channels();
+        for (i, &f_i) in load.iter().enumerate() {
+            let cycle = channels.get(i).map(|c| c.cycle_size()).unwrap_or(0.0);
+            let w_i = f_i * cycle / (2.0 * self.config.bandwidth);
+            r.gauge(&format!("serve.channel.load.{i}")).set(f_i);
+            r.gauge(&format!("serve.channel.expected_wait.{i}")).set(w_i);
+        }
     }
 
     /// The shared program cell — clone it into reader threads to follow
@@ -841,6 +865,7 @@ impl ServeRuntime {
             expected_wait,
         };
         let gen = self.cell.publish(generation);
+        self.publish_channel_gauges(&self.cell.current().value);
         report.swaps += 1;
         self.metrics.swaps.inc();
         self.metrics.swap_latency.record(result.repair.wall_ns);

@@ -202,6 +202,9 @@ fn injected_panic_dumps_a_postmortem_with_deep_history() {
 
 #[test]
 fn stationary_slo_observed_mean_matches_eq2_prediction() {
+    // This run records into the process-global registry when obs is
+    // enabled, so it must not overlap the live-scrape test's counters.
+    let _guard = GLOBAL_STATE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let db = db();
     // Stationary Poisson arrivals drawn from the db's own frequencies:
     // the workload the initial allocation was optimized for, so the

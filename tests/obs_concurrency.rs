@@ -46,11 +46,13 @@ fn snapshots_under_concurrent_recording_are_consistent_and_parse() {
         last = count;
         if let Some(h) = snap.histogram("concurrency.test.latency") {
             assert!(h.count >= 1);
-            // Buckets are incremented before the total count and read
-            // after it, so racing writers can only make the bucket sum
-            // run ahead of the snapshot count — never behind.
+            // The snapshot reads buckets before the total count (and
+            // clamps count up to the bucket sum), so racing writers can
+            // only make the count run ahead of the bucket sum — never
+            // behind. The exporters rely on this: cumulative bucket
+            // lines must never exceed the `+Inf`/`_count` value.
             let bucket_total: u64 = h.buckets.iter().map(|&(_, c)| c).sum();
-            assert!(bucket_total >= h.count, "buckets {bucket_total} < count {}", h.count);
+            assert!(h.count >= bucket_total, "count {} < buckets {bucket_total}", h.count);
         }
         let json = snap.to_json();
         let parsed: serde_json::Value =

@@ -1,0 +1,143 @@
+//! Property tests for the scope time-series layer:
+//!
+//! * tiered bins bound their raw samples (min ≤ mean ≤ max, and both
+//!   extremes lie inside the global raw range — a spike can never be
+//!   manufactured or lost by decimation),
+//! * per-bin means are conserved: a completed mid bin's mean equals
+//!   the arithmetic mean of exactly the raw samples it covers,
+//! * derived counter rates are always non-negative and finite, even
+//!   across counter resets,
+//! * any store built from randomized snapshots renders a document that
+//!   round-trips the strict `/series` validator.
+
+use proptest::prelude::*;
+
+use dbcast_scope::{
+    render_store, validate, Sample, ScopeConfig, Series, SeriesKind, SeriesStore,
+};
+
+fn gauge_series(values: &[f64]) -> Series {
+    let mut series = Series::new(SeriesKind::Gauge, 4096, 4096);
+    for (i, &v) in values.iter().enumerate() {
+        series.push(Sample { tick: i as u64, wall_ms: i as u64 * 100, value: v });
+    }
+    series
+}
+
+proptest! {
+    #[test]
+    fn tier_bins_bound_the_raw_window(
+        values in prop::collection::vec(-1.0e6f64..1.0e6, 10..200)
+    ) {
+        let series = gauge_series(&values);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in &values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let eps = 1e-9 * hi.abs().max(lo.abs()).max(1.0);
+        for bin in series.mid().iter().chain(series.coarse().iter()) {
+            prop_assert!(bin.min >= lo - eps, "bin min {} below raw min {lo}", bin.min);
+            prop_assert!(bin.max <= hi + eps, "bin max {} above raw max {hi}", bin.max);
+            prop_assert!(bin.min <= bin.mean() + eps && bin.mean() <= bin.max + eps,
+                "bin mean {} outside [{}, {}]", bin.mean(), bin.min, bin.max);
+        }
+    }
+
+    #[test]
+    fn mid_bin_means_are_conserved(
+        values in prop::collection::vec(-1.0e3f64..1.0e3, 10..200)
+    ) {
+        let series = gauge_series(&values);
+        for bin in series.mid().iter() {
+            let chunk = &values[bin.start_tick as usize..=bin.end_tick as usize];
+            prop_assert_eq!(chunk.len() as u64, bin.count);
+            let mean = chunk.iter().sum::<f64>() / chunk.len() as f64;
+            let eps = 1e-9 * mean.abs().max(1.0);
+            prop_assert!((bin.mean() - mean).abs() <= eps,
+                "bin mean {} != chunk mean {mean}", bin.mean());
+        }
+    }
+
+    #[test]
+    fn counter_rates_are_non_negative_even_across_resets(
+        steps in prop::collection::vec((0u64..500, 0u8..10), 2..100)
+    ) {
+        // A counter that mostly increments but occasionally (flag 0,
+        // ~10% of samples) resets to a small value (process restart),
+        // sampled every 100 ms.
+        let mut series = Series::new(SeriesKind::Counter, 4096, 4096);
+        let mut total = 0u64;
+        for (i, &(delta, flag)) in steps.iter().enumerate() {
+            total = if flag == 0 { delta } else { total.saturating_add(delta) };
+            series.push(Sample {
+                tick: i as u64,
+                wall_ms: i as u64 * 100,
+                value: total as f64,
+            });
+        }
+        let rates = series.rates();
+        prop_assert_eq!(rates.len(), steps.len().saturating_sub(1));
+        for r in &rates {
+            prop_assert!(r.value.is_finite() && r.value >= 0.0,
+                "derived rate {} at tick {} is invalid", r.value, r.tick);
+        }
+    }
+
+    #[test]
+    fn randomized_stores_export_valid_documents(
+        scrapes in prop::collection::vec(
+            (0u64..10_000, -1.0e6f64..1.0e6, 0u64..100_000), 1..60)
+    ) {
+        let store = SeriesStore::new(ScopeConfig {
+            raw_capacity: 16,
+            tier_capacity: 8,
+            hist_capacity: 8,
+            render_raw: 12,
+            ..ScopeConfig::default()
+        });
+        let mut counter = 0u64;
+        let mut wall = 0u64;
+        // A cumulative histogram built by hand (the scrape path only
+        // reads count/sum/buckets from a snapshot).
+        let mut bucket_counts = std::collections::BTreeMap::new();
+        let (mut hcount, mut hsum) = (0u64, 0u64);
+        for (i, &(delta, gauge, obs)) in scrapes.iter().enumerate() {
+            counter += delta;
+            wall += 100 + delta % 50;
+            hcount += 1;
+            hsum += obs;
+            *bucket_counts.entry(dbcast_obs::metrics::bucket_index(obs)).or_insert(0u64) +=
+                1;
+            let hist = dbcast_obs::metrics::HistogramSnapshot {
+                count: hcount,
+                sum: hsum,
+                mean: hsum as f64 / hcount as f64,
+                min: 0,
+                max: 0,
+                p50: 0,
+                p90: 0,
+                p95: 0,
+                p99: 0,
+                buckets: bucket_counts
+                    .iter()
+                    .map(|(&b, &c)| (dbcast_obs::metrics::bucket_upper_bound(b), c))
+                    .collect(),
+            };
+            let snap = dbcast_obs::snapshot::Snapshot {
+                counters: vec![
+                    ("serve.ticks".to_string(), i as u64),
+                    ("prop.count".to_string(), counter),
+                ],
+                gauges: vec![("prop.level".to_string(), gauge)],
+                histograms: vec![("prop.dist".to_string(), hist)],
+                traces: Vec::new(),
+            };
+            store.append_snapshot(&snap, wall);
+        }
+        let text = render_store(&store);
+        let doc = validate(&text).expect("randomized export validates");
+        prop_assert_eq!(doc.tick, scrapes.len() as u64 - 1);
+        prop_assert!(doc.series("prop.count").is_some());
+    }
+}

@@ -1,13 +1,26 @@
 //! Mechanism **CDS — Cost-Diminishing Selection** (paper §3.2).
 //!
 //! CDS refines an existing allocation by steepest-descent over
-//! single-item moves. Each iteration scans all `O(K²N)` candidate moves,
-//! evaluates the closed-form cost reduction of Eq. 4 in O(1) per
-//! candidate, applies the best strictly-improving move, and stops at a
-//! local optimum.
+//! single-item moves: each iteration applies the best strictly-improving
+//! move (Eq. 4 reduction, ties to the smallest item id then the
+//! smallest destination channel) and stops at a local optimum.
+//!
+//! Two interchangeable implementations share that contract:
+//!
+//! * [`ReferenceCds`] — the paper-literal exhaustive scan, `O(KN)` per
+//!   iteration. It is the oracle: simple enough to audit by eye.
+//! * [`Cds`] — the production engine, backed by
+//!   [`BestMoveEngine`](crate::engine::BestMoveEngine): maintained
+//!   per-group `(F, Z)` aggregates plus a lazily-invalidated per-item
+//!   best-move cache, `O(N)` amortized per iteration. Its step sequence
+//!   is **bit-for-bit identical** to the reference's — the conformance
+//!   crate's differential battery replays both on every generated and
+//!   regression instance and fails on the first diverging step.
 
 use dbcast_model::{Allocation, ChannelId, ItemId, ModelError, Move};
 use serde::{Deserialize, Serialize};
+
+use crate::engine::BestMoveEngine;
 
 /// One applied CDS move, mirroring a row of the paper's Table 4.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -41,12 +54,177 @@ impl CdsOutcome {
     }
 }
 
-/// The CDS refiner.
+/// The exhaustive best-move scan both CDS implementations agree on:
+/// items in id order, destinations ascending, strict `>` keeps the
+/// first of tied candidates, seeded at `min_reduction`.
+fn scan_best_move(alloc: &Allocation, min_reduction: f64) -> Option<(Move, f64)> {
+    let _scan = dbcast_obs::span!("alloc.cds.best_move");
+    let k = alloc.channels();
+    let mut best: Option<(Move, f64)> = None;
+    let mut best_reduction = min_reduction;
+    for (item, &p) in alloc.assignment().iter().enumerate() {
+        for q in 0..k {
+            if q == p {
+                continue;
+            }
+            let mv = Move {
+                item: ItemId::new(item),
+                from: ChannelId::new(p),
+                to: ChannelId::new(q),
+            };
+            let reduction =
+                alloc.move_reduction(mv).expect("scan only proposes consistent moves");
+            if reduction > best_reduction {
+                best_reduction = reduction;
+                best = Some((mv, reduction));
+            }
+        }
+    }
+    best
+}
+
+/// Shared refinement driver: `next` yields the best move for the
+/// current allocation (both implementations plug their scan in here, so
+/// step accounting, tracing and the capped-run convergence re-check
+/// stay literally the same code).
+fn refine_with(
+    db: &dbcast_model::Database,
+    mut alloc: Allocation,
+    max_iterations: usize,
+    mut next: impl FnMut(&Allocation) -> Option<(Move, f64)>,
+) -> Result<CdsOutcome, ModelError> {
+    if alloc.items() != db.len() {
+        return Err(ModelError::AssignmentLength {
+            expected: db.len(),
+            actual: alloc.items(),
+        });
+    }
+    let _refine_span = dbcast_obs::span!("alloc.cds.refine");
+    let initial_cost = alloc.total_cost();
+    let mut steps = Vec::new();
+    let mut converged = false;
+    let mut obs_trace = dbcast_obs::trace::ConvergenceTrace::new("alloc.cds");
+    while steps.len() < max_iterations {
+        match next(&alloc) {
+            Some((mv, reduction)) => {
+                alloc.apply_move(mv)?;
+                let cost_after = alloc.total_cost();
+                steps.push(CdsStep { mv, reduction, cost_after });
+                dbcast_obs::counter!("alloc.cds.iterations").inc();
+                if dbcast_obs::enabled() {
+                    obs_trace.push(dbcast_obs::trace::TraceEvent::CdsIteration {
+                        iteration: steps.len(),
+                        item: mv.item.index(),
+                        from: mv.from.index(),
+                        to: mv.to.index(),
+                        reduction,
+                        cost_after,
+                    });
+                }
+            }
+            None => {
+                converged = true;
+                break;
+            }
+        }
+    }
+    obs_trace.record();
+    // A capped run that would find no further move is still converged.
+    if !converged && next(&alloc).is_none() {
+        converged = true;
+    }
+    Ok(CdsOutcome { allocation: alloc, initial_cost, steps, converged })
+}
+
+/// The paper-literal CDS refiner: a full `O(KN)` candidate scan per
+/// iteration, kept as the differential oracle for [`Cds`].
+///
+/// # Example
+///
+/// ```
+/// use dbcast_alloc::{Cds, Drp, ReferenceCds};
+/// use dbcast_model::ChannelAllocator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let db = dbcast_workload::paper::table2_profile();
+/// let rough = Drp::new().allocate(&db, 5)?;
+/// let oracle = ReferenceCds::new().refine(&db, rough.clone())?;
+/// let fast = Cds::new().refine(&db, rough)?;
+/// assert_eq!(oracle.steps, fast.steps); // bit-for-bit
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReferenceCds {
+    min_reduction: f64,
+    max_iterations: usize,
+}
+
+impl Default for ReferenceCds {
+    fn default() -> Self {
+        ReferenceCds { min_reduction: 1e-9, max_iterations: 1_000_000 }
+    }
+}
+
+impl ReferenceCds {
+    /// Creates the oracle with default threshold (`1e-9`) and iteration
+    /// cap (`1_000_000`).
+    pub fn new() -> Self {
+        ReferenceCds::default()
+    }
+
+    /// Sets the minimum strict improvement a move must deliver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or not finite.
+    pub fn min_reduction(mut self, threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "min_reduction must be finite and >= 0"
+        );
+        self.min_reduction = threshold;
+        self
+    }
+
+    /// Caps the number of applied moves.
+    pub fn max_iterations(mut self, cap: usize) -> Self {
+        self.max_iterations = cap;
+        self
+    }
+
+    /// Finds the best single-item move via the exhaustive scan, if any
+    /// clears the threshold.
+    pub fn best_move(&self, alloc: &Allocation) -> Option<(Move, f64)> {
+        scan_best_move(alloc, self.min_reduction)
+    }
+
+    /// Refines `alloc` to a local optimum over `db`'s cost surface
+    /// using the exhaustive per-iteration scan.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::AssignmentLength`] if `alloc` was not built over
+    /// `db` (defensive; the refinement itself cannot fail).
+    pub fn refine(
+        &self,
+        db: &dbcast_model::Database,
+        alloc: Allocation,
+    ) -> Result<CdsOutcome, ModelError> {
+        refine_with(db, alloc, self.max_iterations, |a| {
+            scan_best_move(a, self.min_reduction)
+        })
+    }
+}
+
+/// The production CDS refiner, backed by the incremental
+/// [`BestMoveEngine`](crate::engine::BestMoveEngine).
 ///
 /// The improvement threshold rejects moves whose Eq. 4 reduction is not
 /// strictly above `min_reduction` (default `1e-9`); together with the
 /// iteration cap this guarantees termination in the presence of
-/// floating-point noise.
+/// floating-point noise. The step sequence is bit-for-bit identical to
+/// [`ReferenceCds`]'s on every input.
 ///
 /// # Example
 ///
@@ -96,8 +274,8 @@ impl Cds {
         self
     }
 
-    /// Caps the number of applied moves (safety valve; the default is
-    /// far beyond anything the paper's instances need).
+    /// Caps the number of applied moves (safety valve at paper scale, a
+    /// deliberate refinement budget at production scale).
     pub fn max_iterations(mut self, cap: usize) -> Self {
         self.max_iterations = cap;
         self
@@ -105,33 +283,28 @@ impl Cds {
 
     /// Finds the best single-item move, if any clears the threshold.
     ///
-    /// The scan follows the paper's loop order: origin channel `p`
-    /// ascending, items within `p` in id order, destination `q`
-    /// ascending; strict `>` keeps the first of tied candidates.
+    /// One-shot queries use the exhaustive scan (building the engine
+    /// would do the same work); `refine` amortizes via the engine.
+    #[cfg(test)]
     fn best_move(&self, alloc: &Allocation) -> Option<(Move, f64)> {
-        let _scan = dbcast_obs::span!("alloc.cds.best_move");
-        let k = alloc.channels();
-        let mut best: Option<(Move, f64)> = None;
-        let mut best_reduction = self.min_reduction;
-        for (item, &p) in alloc.assignment().iter().enumerate() {
-            for q in 0..k {
-                if q == p {
-                    continue;
-                }
-                let mv = Move {
-                    item: ItemId::new(item),
-                    from: ChannelId::new(p),
-                    to: ChannelId::new(q),
-                };
-                let reduction =
-                    alloc.move_reduction(mv).expect("scan only proposes consistent moves");
-                if reduction > best_reduction {
-                    best_reduction = reduction;
-                    best = Some((mv, reduction));
-                }
-            }
-        }
-        best
+        scan_best_move(alloc, self.min_reduction)
+    }
+
+    /// Builds the incremental engine from the current allocation state,
+    /// handing over the *evolved* aggregates so every cached reduction
+    /// is bit-identical to what the exhaustive scan would compute.
+    pub(crate) fn engine(
+        &self,
+        db: &dbcast_model::Database,
+        alloc: &Allocation,
+    ) -> BestMoveEngine {
+        let f: Vec<f64> = db.iter().map(|d| d.frequency()).collect();
+        let z: Vec<f64> = db.iter().map(|d| d.size()).collect();
+        let assign: Vec<u32> = alloc.assignment().iter().map(|&c| c as u32).collect();
+        let stats = alloc.all_channel_stats();
+        let freq: Vec<f64> = stats.iter().map(|s| s.frequency).collect();
+        let size: Vec<f64> = stats.iter().map(|s| s.size).collect();
+        BestMoveEngine::new(alloc.channels(), self.min_reduction, f, z, assign, freq, size)
     }
 
     /// Refines `alloc` to a local optimum over `db`'s cost surface.
@@ -143,7 +316,7 @@ impl Cds {
     pub fn refine(
         &self,
         db: &dbcast_model::Database,
-        mut alloc: Allocation,
+        alloc: Allocation,
     ) -> Result<CdsOutcome, ModelError> {
         if alloc.items() != db.len() {
             return Err(ModelError::AssignmentLength {
@@ -151,41 +324,20 @@ impl Cds {
                 actual: alloc.items(),
             });
         }
-        let _refine_span = dbcast_obs::span!("alloc.cds.refine");
-        let initial_cost = alloc.total_cost();
-        let mut steps = Vec::new();
-        let mut converged = false;
-        let mut obs_trace = dbcast_obs::trace::ConvergenceTrace::new("alloc.cds");
-        while steps.len() < self.max_iterations {
-            match self.best_move(&alloc) {
-                Some((mv, reduction)) => {
-                    alloc.apply_move(mv)?;
-                    let cost_after = alloc.total_cost();
-                    steps.push(CdsStep { mv, reduction, cost_after });
-                    dbcast_obs::counter!("alloc.cds.iterations").inc();
-                    if dbcast_obs::enabled() {
-                        obs_trace.push(dbcast_obs::trace::TraceEvent::CdsIteration {
-                            iteration: steps.len(),
-                            item: mv.item.index(),
-                            from: mv.from.index(),
-                            to: mv.to.index(),
-                            reduction,
-                            cost_after,
-                        });
-                    }
-                }
-                None => {
-                    converged = true;
-                    break;
-                }
-            }
-        }
-        obs_trace.record();
-        // A capped run that would find no further move is still converged.
-        if !converged && self.best_move(&alloc).is_none() {
-            converged = true;
-        }
-        Ok(CdsOutcome { allocation: alloc, initial_cost, steps, converged })
+        let mut engine = self.engine(db, &alloc);
+        refine_with(db, alloc, self.max_iterations, move |a| {
+            let em = engine.best()?;
+            debug_assert_eq!(em.from, a.assignment()[em.item]);
+            engine.apply_best();
+            Some((
+                Move {
+                    item: ItemId::new(em.item),
+                    from: ChannelId::new(em.from),
+                    to: ChannelId::new(em.to),
+                },
+                em.reduction,
+            ))
+        })
     }
 }
 
@@ -203,7 +355,8 @@ mod tests {
         let db = dbcast_workload::paper::table2_profile();
         let other = Database::try_from_specs(vec![ItemSpec::new(1.0, 1.0)]).unwrap();
         let alloc = Allocation::from_assignment(&other, 1, vec![0]).unwrap();
-        assert!(Cds::new().refine(&db, alloc).is_err());
+        assert!(Cds::new().refine(&db, alloc.clone()).is_err());
+        assert!(ReferenceCds::new().refine(&db, alloc).is_err());
     }
 
     #[test]
@@ -243,6 +396,56 @@ mod tests {
         assert_eq!(s1.mv.item.index() + 1, 12); // paper's d12
         assert!((s1.reduction - 0.45).abs() < 0.01, "{}", s1.reduction);
         assert!((out.final_cost() - 22.29).abs() < 0.01, "{}", out.final_cost());
+    }
+
+    #[test]
+    fn incremental_matches_reference_bit_for_bit() {
+        for (n, k, seed) in [(40usize, 4usize, 11u64), (100, 6, 4), (120, 8, 1), (75, 5, 9)]
+        {
+            let db = dbcast_workload::WorkloadBuilder::new(n).seed(seed).build().unwrap();
+            let rough = crate::Drp::new().allocate(&db, k).unwrap();
+            let oracle = ReferenceCds::new().refine(&db, rough.clone()).unwrap();
+            let fast = Cds::new().refine(&db, rough).unwrap();
+            assert_eq!(oracle.steps.len(), fast.steps.len(), "n={n} k={k} seed={seed}");
+            for (i, (a, b)) in oracle.steps.iter().zip(&fast.steps).enumerate() {
+                assert_eq!(a.mv, b.mv, "step {i} move (n={n} k={k} seed={seed})");
+                assert_eq!(
+                    a.reduction.to_bits(),
+                    b.reduction.to_bits(),
+                    "step {i} reduction (n={n} k={k} seed={seed})"
+                );
+                assert_eq!(
+                    a.cost_after.to_bits(),
+                    b.cost_after.to_bits(),
+                    "step {i} cost (n={n} k={k} seed={seed})"
+                );
+            }
+            assert_eq!(oracle.allocation, fast.allocation);
+            assert_eq!(oracle.converged, fast.converged);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_reference_under_caps_and_thresholds() {
+        let db = dbcast_workload::WorkloadBuilder::new(90).seed(13).build().unwrap();
+        let rough = crate::Drp::new().allocate(&db, 6).unwrap();
+        for cap in [0usize, 1, 3, 1000] {
+            for threshold in [0.0, 1e-9, 1e-3] {
+                let oracle = ReferenceCds::new()
+                    .min_reduction(threshold)
+                    .max_iterations(cap)
+                    .refine(&db, rough.clone())
+                    .unwrap();
+                let fast = Cds::new()
+                    .min_reduction(threshold)
+                    .max_iterations(cap)
+                    .refine(&db, rough.clone())
+                    .unwrap();
+                assert_eq!(oracle.steps, fast.steps, "cap={cap} threshold={threshold}");
+                assert_eq!(oracle.converged, fast.converged);
+                assert_eq!(oracle.allocation, fast.allocation);
+            }
+        }
     }
 
     #[test]
@@ -308,6 +511,12 @@ mod tests {
     #[should_panic(expected = "min_reduction")]
     fn negative_threshold_panics() {
         let _ = Cds::new().min_reduction(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_reduction")]
+    fn reference_negative_threshold_panics() {
+        let _ = ReferenceCds::new().min_reduction(-1.0);
     }
 
     #[test]

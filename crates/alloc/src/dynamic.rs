@@ -305,54 +305,65 @@ impl DynamicBroadcast {
         Ok(self.repair())
     }
 
-    /// Best single move across the catalogue (CDS step over raw
-    /// weights), or `None` at a local optimum.
-    fn best_move(&self) -> Option<(ItemHandle, usize, f64)> {
-        let mut best: Option<(ItemHandle, usize, f64)> = None;
-        for (&h, &(w, z, p)) in &self.items {
-            for q in 0..self.channels {
-                if q == p {
-                    continue;
-                }
-                let delta = w * (self.size[p] - self.size[q])
-                    + z * (self.freq[p] - self.freq[q])
-                    - 2.0 * w * z;
-                if delta > 1e-12 && best.is_none_or(|(_, _, d)| delta > d) {
-                    best = Some((h, q, delta));
-                }
-            }
-        }
-        best
+    /// Builds an incremental best-move engine over the live catalogue
+    /// (dense index = handle rank, i.e. `BTreeMap` iteration order —
+    /// exactly the order the old exhaustive scan visited). The engine
+    /// takes over the *evolved* per-channel aggregates so every cached
+    /// reduction is bit-identical to what a direct scan would compute.
+    fn engine(&self) -> crate::engine::BestMoveEngine {
+        let w: Vec<f64> = self.items.values().map(|&(w, _, _)| w).collect();
+        let z: Vec<f64> = self.items.values().map(|&(_, z, _)| z).collect();
+        let assign: Vec<u32> = self.items.values().map(|&(_, _, ch)| ch as u32).collect();
+        crate::engine::BestMoveEngine::new(
+            self.channels,
+            1e-12,
+            w,
+            z,
+            assign,
+            self.freq.clone(),
+            self.size.clone(),
+        )
     }
 
     /// Runs bounded steepest-descent repair (at most the configured
     /// budget of moves); says whether it converged or ran out of budget
     /// with improving moves still available.
+    ///
+    /// Repair is driven by the incremental
+    /// [`BestMoveEngine`](crate::engine::BestMoveEngine): one `O(NK)`
+    /// scan to seed the move cache, then `O(N)` amortized per applied
+    /// move instead of a fresh full scan each step. The move sequence is
+    /// bit-for-bit what the exhaustive rescan-per-step descent picks.
     pub fn repair(&mut self) -> RepairOutcome {
         let _span = dbcast_obs::span!("alloc.dynamic.repair");
         let mut stats = RepairStats::default();
+        let mut engine = self.engine();
         let outcome = loop {
-            match self.best_move() {
+            match engine.best() {
                 None => break RepairOutcome::Converged(stats),
-                Some((_, _, delta)) if stats.moves >= self.repair_budget => {
+                Some(em) if stats.moves >= self.repair_budget => {
                     break RepairOutcome::BudgetExhausted {
                         stats,
-                        remaining_gain_bound: delta,
+                        remaining_gain_bound: em.reduction,
                     };
                 }
-                Some((h, q, delta)) => {
-                    let entry = self.items.get_mut(&h).expect("handle from scan");
-                    let (w, z, p) = *entry;
-                    entry.2 = q;
-                    self.freq[p] -= w;
-                    self.size[p] -= z;
-                    self.freq[q] += w;
-                    self.size[q] += z;
+                Some(em) => {
+                    engine.apply_best();
                     stats.moves += 1;
-                    stats.reduction += delta;
+                    stats.reduction += em.reduction;
                 }
             }
         };
+        if stats.moves > 0 {
+            // Write the engine's state back: assignments in handle-rank
+            // order, aggregates copied verbatim (the engine evolved them
+            // with the exact ops the in-place descent used to apply).
+            for (entry, &a) in self.items.values_mut().zip(engine.assignment()) {
+                entry.2 = a as usize;
+            }
+            self.freq.copy_from_slice(engine.channel_freq());
+            self.size.copy_from_slice(engine.channel_size());
+        }
         dbcast_obs::counter!("alloc.dynamic.repair_moves").add(stats.moves as u64);
         if !outcome.converged() {
             dbcast_obs::counter!("alloc.dynamic.budget_exhausted").inc();
@@ -515,6 +526,90 @@ mod tests {
         assert!(finished.converged());
         assert!(finished.stats().reduction >= 0.0);
         assert!(live.cost() <= before);
+    }
+
+    /// The pre-engine repair loop, verbatim: full exhaustive scan per
+    /// step over handles in `BTreeMap` order, threshold `1e-12`, strict
+    /// `>` keeping the first of ties. The engine-backed [`repair`] must
+    /// reproduce this descent bit-for-bit.
+    fn reference_repair(live: &mut DynamicBroadcast) -> RepairOutcome {
+        fn scan(live: &DynamicBroadcast) -> Option<(ItemHandle, usize, f64)> {
+            let mut best: Option<(ItemHandle, usize, f64)> = None;
+            for (&h, &(w, z, p)) in &live.items {
+                for q in 0..live.channels {
+                    if q == p {
+                        continue;
+                    }
+                    let delta = w * (live.size[p] - live.size[q])
+                        + z * (live.freq[p] - live.freq[q])
+                        - 2.0 * w * z;
+                    if delta > 1e-12 && best.is_none_or(|(_, _, d)| delta > d) {
+                        best = Some((h, q, delta));
+                    }
+                }
+            }
+            best
+        }
+        let mut stats = RepairStats::default();
+        loop {
+            match scan(live) {
+                None => break RepairOutcome::Converged(stats),
+                Some((_, _, delta)) if stats.moves >= live.repair_budget => {
+                    break RepairOutcome::BudgetExhausted {
+                        stats,
+                        remaining_gain_bound: delta,
+                    };
+                }
+                Some((h, q, delta)) => {
+                    let entry = live.items.get_mut(&h).expect("handle from scan");
+                    let (w, z, p) = *entry;
+                    entry.2 = q;
+                    live.freq[p] -= w;
+                    live.size[p] -= z;
+                    live.freq[q] += w;
+                    live.size[q] += z;
+                    stats.moves += 1;
+                    stats.reduction += delta;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_repair_matches_reference_descent_bit_for_bit() {
+        for (n, k, budget, seed) in
+            [(40usize, 4usize, 64usize, 21u64), (70, 6, 3, 22), (25, 3, 0, 23)]
+        {
+            let db = WorkloadBuilder::new(n).seed(seed).build().unwrap();
+            // Deliberately bad start: everything piled on channel 0.
+            let mut fast = DynamicBroadcast::new(k).with_repair_budget(budget);
+            for d in db.iter() {
+                fast.insert_on(d.frequency(), d.size(), 0);
+            }
+            let mut oracle = fast.clone();
+            let got = fast.repair();
+            let want = reference_repair(&mut oracle);
+            match (got, want) {
+                (RepairOutcome::Converged(a), RepairOutcome::Converged(b)) => {
+                    assert_eq!(a.moves, b.moves);
+                    assert_eq!(a.reduction.to_bits(), b.reduction.to_bits());
+                }
+                (
+                    RepairOutcome::BudgetExhausted { stats: a, remaining_gain_bound: ga },
+                    RepairOutcome::BudgetExhausted { stats: b, remaining_gain_bound: gb },
+                ) => {
+                    assert_eq!(a.moves, b.moves);
+                    assert_eq!(a.reduction.to_bits(), b.reduction.to_bits());
+                    assert_eq!(ga.to_bits(), gb.to_bits());
+                }
+                (got, want) => panic!("outcome mismatch: {got:?} vs {want:?}"),
+            }
+            assert_eq!(fast.items, oracle.items, "n={n} k={k} budget={budget}");
+            for ch in 0..k {
+                assert_eq!(fast.freq[ch].to_bits(), oracle.freq[ch].to_bits());
+                assert_eq!(fast.size[ch].to_bits(), oracle.size[ch].to_bits());
+            }
+        }
     }
 
     #[test]

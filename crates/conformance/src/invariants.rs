@@ -19,7 +19,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use dbcast_alloc::{Cds, Drp};
+use dbcast_alloc::{Cds, CdsOutcome, Drp, ReferenceCds};
 use dbcast_baselines::ExactBnB;
 use dbcast_model::{
     allocation_cost, AllocError, Allocation, ChannelAllocator, ChannelId, Database, ItemId,
@@ -155,6 +155,7 @@ pub fn check_instance_refs(
     }
 
     check_cds(instance, &db, &mut rng, &mut v);
+    check_cds_differential(instance, &db, &mut v);
     check_oracle(instance, &db, &produced, cfg, &mut v);
     if cfg.check_sim {
         check_sim_agreement(instance, &db, cfg, &mut rng, &mut v);
@@ -540,6 +541,106 @@ fn check_cds(
             }
         }
     }
+}
+
+/// Differential battery: the production incremental CDS engine must
+/// reproduce the paper-literal [`ReferenceCds`] scan **bit-for-bit** —
+/// the same step sequence (moves, reduction bits, post-move cost bits),
+/// the same convergence flag and the same final allocation — from both
+/// a random starting allocation and the DRP rough allocation. Any
+/// divergence is a [`Violation`] like every other invariant, so ddmin
+/// shrinking produces a minimal diverging instance for the corpus.
+fn check_cds_differential(instance: &Instance, db: &Database, v: &mut Vec<Violation>) {
+    let k = instance.channels;
+    // Own deterministic stream: adding this check must not perturb the
+    // rng draws the pre-existing checks (and the corpus entries pinned
+    // against them) consume.
+    let mut rng = ChaCha8Rng::seed_from_u64(
+        instance.seed.rotate_left(17) ^ instance.case ^ 0xC05_D1FF,
+    );
+    let random: Vec<usize> = (0..db.len()).map(|_| rng.gen_range(0..k)).collect();
+    let mut starts: Vec<(&str, Allocation)> = vec![(
+        "random start",
+        Allocation::from_assignment(db, k, random)
+            .expect("random assignment over K channels is structurally valid"),
+    )];
+    if k <= db.len() {
+        if let Ok(rough) = Drp::new().allocate(db, k) {
+            starts.push(("drp start", rough));
+        }
+    }
+    for (label, start) in starts {
+        let reference = ReferenceCds::new().refine(db, start.clone());
+        let fast = Cds::new().refine(db, start);
+        match (reference, fast) {
+            (Ok(oracle), Ok(incremental)) => {
+                if let Some(detail) = first_cds_divergence(&oracle, &incremental) {
+                    v.push(Violation {
+                        invariant: "cds-differential".into(),
+                        algorithm: Some("CDS".to_string()),
+                        detail: format!("{label}: {detail}"),
+                        instance: instance.clone(),
+                    });
+                }
+            }
+            (reference, fast) => v.push(Violation {
+                invariant: "cds-differential".into(),
+                algorithm: Some("CDS".to_string()),
+                detail: format!(
+                    "{label}: refine failability diverged: reference {:?} vs incremental {:?}",
+                    reference.map(|o| o.steps.len()),
+                    fast.map(|o| o.steps.len()),
+                ),
+                instance: instance.clone(),
+            }),
+        }
+    }
+}
+
+/// The first point where two CDS outcomes stop being bit-identical, or
+/// `None` when they agree completely.
+fn first_cds_divergence(oracle: &CdsOutcome, fast: &CdsOutcome) -> Option<String> {
+    for (i, (a, b)) in oracle.steps.iter().zip(&fast.steps).enumerate() {
+        if a.mv != b.mv {
+            return Some(format!("step {i} move diverged: {:?} vs {:?}", a.mv, b.mv));
+        }
+        if a.reduction.to_bits() != b.reduction.to_bits() {
+            return Some(format!(
+                "step {i} reduction bits diverged: {} vs {}",
+                a.reduction, b.reduction
+            ));
+        }
+        if a.cost_after.to_bits() != b.cost_after.to_bits() {
+            return Some(format!(
+                "step {i} cost bits diverged: {} vs {}",
+                a.cost_after, b.cost_after
+            ));
+        }
+    }
+    if oracle.steps.len() != fast.steps.len() {
+        return Some(format!(
+            "step counts diverged: reference took {} steps, incremental {}",
+            oracle.steps.len(),
+            fast.steps.len()
+        ));
+    }
+    if oracle.converged != fast.converged {
+        return Some(format!(
+            "convergence diverged: reference {} vs incremental {}",
+            oracle.converged, fast.converged
+        ));
+    }
+    if oracle.allocation.assignment() != fast.allocation.assignment() {
+        return Some("final assignments diverged despite identical steps".to_string());
+    }
+    if oracle.allocation.total_cost().to_bits() != fast.allocation.total_cost().to_bits() {
+        return Some(format!(
+            "final cost bits diverged: {} vs {}",
+            oracle.allocation.total_cost(),
+            fast.allocation.total_cost()
+        ));
+    }
+    None
 }
 
 /// On oracle-sized instances, no allocator may beat the exact optimum,

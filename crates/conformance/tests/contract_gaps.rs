@@ -12,9 +12,9 @@
 //! registry (plus the corpus note) should be re-strengthened in the
 //! same commit.
 
-use dbcast_alloc::DrpCds;
+use dbcast_alloc::{Cds, DrpCds, ReferenceCds};
 use dbcast_baselines::Vfk;
-use dbcast_model::{ChannelAllocator, Database, ItemSpec};
+use dbcast_model::{Allocation, ChannelAllocator, Database, ItemSpec};
 
 /// The minimized DRP-CDS witness from
 /// `corpus/drp-cds-permutation.json`: 20 equal-size items, K = 5.
@@ -119,4 +119,88 @@ fn vfk_cost_increases_with_an_extra_channel() {
 
     assert!((cost_k4 - 11.236_933_736_929).abs() < 1e-9, "got {cost_k4}");
     assert!((cost_k5 - 16.239_269_475_181).abs() < 1e-9, "got {cost_k5}");
+}
+
+/// The item-id tie-break is not an artifact of small instances — it is
+/// load-bearing at production scale, and the incremental engine must
+/// preserve it exactly.
+///
+/// The witness: 512 items in 64 blocks of 8 *identical* items
+/// (identical frequency and size), every block starting co-located on
+/// one channel. Moving any item of a block to a given destination
+/// produces a bit-identical Eq. 4 reduction, so the steepest-descent
+/// scan faces genuine ties at (almost) every step and resolves them by
+/// lowest item id, then lowest destination channel. If the incremental
+/// engine's lazy-invalidation cache ever surfaced a *stale sibling*
+/// (higher id, equal reduction) the step sequences would diverge here
+/// long before any cost difference appeared.
+#[test]
+fn incremental_engine_preserves_item_id_tie_break_at_scale() {
+    const BLOCKS: usize = 64;
+    const BLOCK_SIZE: usize = 8;
+    const K: usize = 8;
+
+    // Zipf-ish block frequencies with mildly diverse sizes; items
+    // within a block are exact clones.
+    let specs: Vec<ItemSpec> = (0..BLOCKS)
+        .flat_map(|b| {
+            let f = 1.0 / (b + 1) as f64;
+            let z = 1.0 + (b % 4) as f64 * 0.5;
+            std::iter::repeat_n(ItemSpec::new(f, z), BLOCK_SIZE)
+        })
+        .collect();
+    let db = Database::try_from_specs(specs).unwrap();
+
+    // Block b starts whole on channel b % K, keeping the clones
+    // co-located so their candidate moves tie bit-for-bit.
+    let assignment: Vec<usize> =
+        (0..BLOCKS).flat_map(|b| std::iter::repeat_n(b % K, BLOCK_SIZE)).collect();
+    let start = Allocation::from_assignment(&db, K, assignment.clone()).unwrap();
+
+    let oracle = ReferenceCds::new().refine(&db, start.clone()).unwrap();
+    let fast = Cds::new().refine(&db, start).unwrap();
+
+    // Bit-for-bit step identity between the exhaustive oracle and the
+    // incremental engine, across the whole descent.
+    assert_eq!(oracle.steps.len(), fast.steps.len(), "step counts diverged");
+    for (i, (a, b)) in oracle.steps.iter().zip(&fast.steps).enumerate() {
+        assert_eq!(a.mv, b.mv, "step {i} move");
+        assert_eq!(a.reduction.to_bits(), b.reduction.to_bits(), "step {i} reduction");
+        assert_eq!(a.cost_after.to_bits(), b.cost_after.to_bits(), "step {i} cost");
+    }
+    assert_eq!(oracle.allocation.assignment(), fast.allocation.assignment());
+    assert_eq!(
+        oracle.allocation.total_cost().to_bits(),
+        fast.allocation.total_cost().to_bits()
+    );
+
+    // The ties are real and resolved by id: replay the descent and
+    // check every moved item is the lowest-id clone among its
+    // co-located siblings at the moment of its move.
+    let mut live = assignment;
+    let mut tied_steps = 0usize;
+    for (i, step) in oracle.steps.iter().enumerate() {
+        let x = step.mv.item.index();
+        let from = usize::from(step.mv.from);
+        assert_eq!(live[x], from, "step {i} moved an item from the wrong channel");
+        let block = x / BLOCK_SIZE;
+        let siblings = (block * BLOCK_SIZE..(block + 1) * BLOCK_SIZE)
+            .filter(|&y| live[y] == from)
+            .collect::<Vec<_>>();
+        if siblings.len() > 1 {
+            tied_steps += 1;
+        }
+        assert_eq!(
+            siblings.first().copied(),
+            Some(x),
+            "step {i}: item {x} moved while a lower-id identical sibling \
+             {siblings:?} shared its channel — the id tie-break broke"
+        );
+        live[x] = usize::from(step.mv.to);
+    }
+    assert!(
+        tied_steps > 10,
+        "only {tied_steps} tied steps — the witness lost its ties; rebuild it"
+    );
+    assert!(oracle.converged, "the witness descent should converge");
 }

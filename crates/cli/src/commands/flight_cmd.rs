@@ -6,6 +6,11 @@
 //!   OpenMetrics scrape with the strict parser,
 //! * `dbcast flight check-series --input series.json` — validate a
 //!   `/series` time-series document with the scope validator,
+//! * `dbcast flight check-exemplars --input exemplars.json` — validate
+//!   a `/exemplars` audit-trace document with the strict schema-v1
+//!   validator; `--metrics scrape.txt` additionally parses an
+//!   OpenMetrics scrape and counts its exemplar annotations
+//!   (`--min-exemplars N` makes fewer than N a hard failure),
 //! * `dbcast flight catalog` — print the metrics catalogue as the
 //!   markdown committed at `docs/METRICS.md`.
 
@@ -27,12 +32,14 @@ pub fn run_flight(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliE
         Some("dump") => run_dump(args, out),
         Some("check-metrics") => run_check_metrics(args, out),
         Some("check-series") => run_check_series(args, out),
+        Some("check-exemplars") => run_check_exemplars(args, out),
         Some("catalog") => {
             write!(out, "{}", dbcast_obs::catalog::markdown())?;
             Ok(())
         }
         other => Err(CliError::InvalidOption(format!(
-            "flight action {:?}; expected dump, check-metrics, check-series or catalog",
+            "flight action {:?}; expected dump, check-metrics, check-series, \
+             check-exemplars or catalog",
             other.unwrap_or("<none>")
         ))),
     }
@@ -133,6 +140,40 @@ fn run_check_metrics(args: &Args, out: &mut impl std::io::Write) -> Result<(), C
         families.len(),
         if families.len() == 1 { "y" } else { "ies" },
     )?;
+    Ok(())
+}
+
+fn run_check_exemplars(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
+    let input = args.require::<String>("input")?;
+    let body = std::fs::read_to_string(&input)?;
+    let snap = dbcast_audit::json::validate(&body)
+        .map_err(|e| CliError::InvalidOption(format!("{input}: {e}")))?;
+    writeln!(
+        out,
+        "{input}: valid /exemplars document — schema {}, {} record(s), \
+         {} channel(s), {} frozen generation(s)",
+        dbcast_audit::json::SCHEMA_VERSION,
+        snap.records.len(),
+        snap.residuals.channels.len(),
+        snap.history.len(),
+    )?;
+    if let Some(scrape) = args.opt::<String>("metrics")? {
+        let text = std::fs::read_to_string(&scrape)?;
+        let families = dbcast_obs::openmetrics::parse(&text)
+            .map_err(|e| CliError::InvalidOption(format!("{scrape}: {e}")))?;
+        let exemplars: usize = families
+            .iter()
+            .flat_map(|f| &f.samples)
+            .filter(|s| s.exemplar.is_some())
+            .count();
+        writeln!(out, "{scrape}: valid OpenMetrics — {exemplars} exemplar(s)")?;
+        let min = args.opt_or("min-exemplars", 0usize)?;
+        if exemplars < min {
+            return Err(CliError::InvalidOption(format!(
+                "{scrape}: {exemplars} exemplar(s) parsed, --min-exemplars {min} required"
+            )));
+        }
+    }
     Ok(())
 }
 
@@ -244,6 +285,64 @@ mod tests {
                 .unwrap();
         let mut out = Vec::new();
         assert!(run_flight(&args, &mut out).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn check_exemplars_validates_doc_and_counts_scrape_exemplars() {
+        let dir = temp_dir("exemplars");
+        let tracer =
+            dbcast_audit::AuditTracer::new(dbcast_audit::AuditConfig::default(), 2);
+        let good = dir.join("exemplars.json");
+        std::fs::write(&good, tracer.render_json()).unwrap();
+        let scrape = dir.join("scrape.txt");
+        std::fs::write(
+            &scrape,
+            "# TYPE serve_ticks counter\n\
+             serve_ticks_total 5 # {request_id=\"7\",channel=\"1\"} 5\n\
+             # EOF\n",
+        )
+        .unwrap();
+
+        let args = Args::parse([
+            "flight",
+            "check-exemplars",
+            "--input",
+            good.to_str().unwrap(),
+            "--metrics",
+            scrape.to_str().unwrap(),
+            "--min-exemplars",
+            "1",
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        run_flight(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("valid /exemplars document"), "{text}");
+        assert!(text.contains("1 exemplar(s)"), "{text}");
+
+        // Demanding more exemplars than the scrape carries fails.
+        let args = Args::parse([
+            "flight",
+            "check-exemplars",
+            "--input",
+            good.to_str().unwrap(),
+            "--metrics",
+            scrape.to_str().unwrap(),
+            "--min-exemplars",
+            "2",
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        assert!(matches!(run_flight(&args, &mut out), Err(CliError::InvalidOption(_))));
+
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"schema\": 99}").unwrap();
+        let args =
+            Args::parse(["flight", "check-exemplars", "--input", bad.to_str().unwrap()])
+                .unwrap();
+        let mut out = Vec::new();
+        assert!(matches!(run_flight(&args, &mut out), Err(CliError::InvalidOption(_))));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

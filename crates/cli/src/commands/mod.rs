@@ -14,6 +14,7 @@ mod simulate;
 mod stats;
 mod sweep;
 mod top_cmd;
+mod trace_cmd;
 
 pub use allocate::run_allocate;
 pub use conformance_cmd::run_conformance;
@@ -29,6 +30,7 @@ pub use simulate::run_simulate;
 pub use stats::run_stats;
 pub use sweep::run_sweep_cmd;
 pub use top_cmd::run_top;
+pub use trace_cmd::run_trace;
 
 use std::fmt;
 

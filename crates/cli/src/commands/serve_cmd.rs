@@ -2,8 +2,8 @@
 //! stream with live workload estimation and hot program swap.
 
 use dbcast_serve::{
-    poisson_trace, shifted_trace, shifted_workload, DriftDetector, EstimatorConfig,
-    RepairMode, ServeConfig, ServeRuntime, SloConfig, WorkerMode,
+    poisson_trace, shifted_trace, shifted_workload, AuditConfig, DriftDetector,
+    EstimatorConfig, RepairMode, ServeConfig, ServeRuntime, SloConfig, WorkerMode,
 };
 use dbcast_workload::RequestTrace;
 
@@ -20,7 +20,10 @@ use crate::commands::CliError;
 /// `--drift-threshold D`, `--min-observations M`, `--repair
 /// full|budgeted`, `--budget MOVES`, `--decay A`, `--ticks T`,
 /// `--shift-at FRAC`, `--shift-theta X`, `--shift-rotation N`,
-/// `--save-trace PATH`, `--seed S`, `--deterministic`, `--json`.
+/// `--save-trace PATH`, `--seed S`, `--deterministic`, `--json`,
+/// `--audit-shift S` (seeded trace sampling rate `2^-S`),
+/// `--inject-slow-channel I` / `--inject-slow-factor X` (scale the
+/// wait of one channel's requests — residual-attribution drills).
 ///
 /// # Errors
 ///
@@ -125,6 +128,16 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
         slo,
         pace_ms: args.opt_or("pace-ms", 0u64)?,
         inject_panic_at_tick: args.opt::<u64>("inject-panic-at-tick")?,
+        // The audit sampler shares the run seed so the sampled trace
+        // set is bit-identical across same-seed replays.
+        audit: AuditConfig {
+            seed,
+            sample_shift: args
+                .opt_or("audit-shift", AuditConfig::default().sample_shift)?,
+            ..AuditConfig::default()
+        },
+        inject_slow_channel: args.opt::<usize>("inject-slow-channel")?,
+        inject_slow_factor: args.opt_or("inject-slow-factor", 1.0f64)?,
     };
 
     if let Some(dir) = &postmortem_dir {
@@ -150,11 +163,31 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
         None
     };
 
+    // The runtime is built before the exposition server so /exemplars
+    // and the OpenMetrics exemplar provider can capture its tracer.
+    let config_json =
+        serde_json::to_string(&config).map_err(|e| std::io::Error::other(e.to_string()))?;
+    let runtime = ServeRuntime::new(&db, config)?;
+    let audit = runtime.audit();
+
+    if dbcast_obs::enabled() {
+        // Tail exemplars ride along on serve.wait histogram bucket
+        // lines in every /metrics render while this run is live.
+        let provider = std::sync::Arc::clone(&audit);
+        dbcast_obs::openmetrics::set_exemplar_provider(Some(std::sync::Arc::new(
+            move |name: &str| {
+                if name == "serve.wait" {
+                    provider.exemplars()
+                } else {
+                    Vec::new()
+                }
+            },
+        )));
+    }
+
     let exposition = match &listen {
         None => None,
         Some(addr) => {
-            let config_json = serde_json::to_string(&config)
-                .map_err(|e| std::io::Error::other(e.to_string()))?;
             let items = db.len();
             let requests = trace.len();
             let status = Box::new(move || {
@@ -172,6 +205,10 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
                     dbcast_scope::render_store(&store)
                 }));
             }
+            let audit_route = std::sync::Arc::clone(&audit);
+            routes.push(dbcast_flight::Route::json("/exemplars", move || {
+                audit_route.render_json()
+            }));
             let server = dbcast_flight::ExpositionServer::bind_with_routes(
                 addr.as_str(),
                 status,
@@ -179,18 +216,20 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
             )?;
             writeln!(
                 out,
-                "exposing /metrics, /flight, /status and /series on http://{}",
+                "exposing /metrics, /flight, /status, /series and /exemplars on http://{}",
                 server.addr()
             )?;
             Some(server)
         }
     };
 
-    let runtime = ServeRuntime::new(&db, config)?;
     let run_result = runtime.run(&trace);
     if let Some(mut server) = exposition {
         server.shutdown();
     }
+    // The provider holds the tracer alive and would serve stale
+    // exemplars to any later render in this process; unhook it.
+    dbcast_obs::openmetrics::set_exemplar_provider(None);
     // Stop (with a final scrape + watchdog pass) even when the run
     // errored, so the thread never outlives the command.
     let firings = sampler.map(dbcast_scope::Sampler::stop).unwrap_or_default();
@@ -223,6 +262,15 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
             report.slo_breaches, report.slo_trigger_events
         )?;
     }
+    writeln!(
+        out,
+        "audit: {} seeded + {} tail sample(s), {} swap-straddled, \
+         {} record(s) live in the trace ring",
+        report.audit.sampled,
+        report.audit.tail,
+        report.audit.straddled,
+        report.audit.records
+    )?;
     for g in &report.generations {
         let repair = match &g.repair {
             None => String::from("initial DRP-CDS"),

@@ -43,6 +43,9 @@ COMMANDS:
     top             Live operator console over a serving process's /series
                     endpoint (sparklines for req/s, drift, SLO burn, Eq. 2
                     per-channel waits)
+    trace           Inspect a serving process's per-request audit trace
+                    (dump | slowest | residuals | explain) from /exemplars
+                    or a saved scrape
 
 COMMON OPTIONS:
     --db PATH         Load a workload from JSON (otherwise one is generated)
@@ -99,6 +102,11 @@ COMMAND-SPECIFIC:
                               > 0.3 for 40 ticks\"; any firing exits non-zero
                --slo-multiplier X  scale the per-request breach threshold
                               (values < 1 force breaches — CI drills)
+               --audit-shift S  seeded audit sampling keeps 1-in-2^S
+                              requests (0 = all)            [default: 6]
+               --inject-slow-channel I  scale the wait of channel I's
+                              requests by --inject-slow-factor X
+                              (residual-attribution drills) [default: 1.0]
     sweep:     --axis A       k | n | phi | theta  [default: k]
                --seeds S      average over S seeds
                --quick        3 seeds instead of 20
@@ -112,7 +120,17 @@ COMMAND-SPECIFIC:
                              --last N events            [default: 16])
                check-metrics validate an OpenMetrics scrape (--input FILE)
                check-series  validate a /series JSON document (--input FILE)
+               check-exemplars  validate an /exemplars audit-trace JSON
+                             (--input FILE); --metrics SCRAPE also counts
+                             exemplar annotations (--min-exemplars N)
                catalog       print the metrics catalogue (docs/METRICS.md)
+    trace:     dump | slowest | residuals | explain
+               --input FILE  a saved /exemplars document, or
+               --addr H:P    scrape /exemplars from a live serve --listen
+               --last N      records shown by dump [16] / slowest [10]
+               --request ID  the request to explain (wait = Eq. 2
+                             prediction + scheduling residual + swap
+                             straddle penalty)
     top:       --addr H:P    the serve process's --listen address (required)
                --once        render one plain frame and exit (CI / non-TTY)
                --interval-ms N  live refresh cadence        [default: 1000]
@@ -189,6 +207,7 @@ fn run() -> Result<(), CliError> {
         Some("perf") => commands::run_perf(&args, &mut stdout),
         Some("flight") => commands::run_flight(&args, &mut stdout),
         Some("top") => commands::run_top(&args, &mut stdout),
+        Some("trace") => commands::run_trace(&args, &mut stdout),
         _ => {
             print!("{USAGE}");
             Ok(())

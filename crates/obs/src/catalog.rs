@@ -269,6 +269,31 @@ pub const CATALOG: &[MetricDef] = &[
         help: "Scope watchdog rules that fired (sustained threshold or stall)",
     },
     MetricDef {
+        name: "serve.audit.residual",
+        kind: MetricKind::Gauge,
+        unit: "s",
+        help: "Per-channel observed-mean wait minus Eq. 2 predicted mean for the \
+               serving generation; indexed as .<channel>",
+    },
+    MetricDef {
+        name: "serve.audit.sampled",
+        kind: MetricKind::Counter,
+        unit: "1",
+        help: "Requests captured by the audit tracer's deterministic seeded stage",
+    },
+    MetricDef {
+        name: "serve.audit.straddled",
+        kind: MetricKind::Counter,
+        unit: "1",
+        help: "Sampled requests whose service straddled an EpochCell program swap",
+    },
+    MetricDef {
+        name: "serve.audit.tail_sampled",
+        kind: MetricKind::Counter,
+        unit: "1",
+        help: "SLO-slow requests captured by the audit tracer's tail-biased stage",
+    },
+    MetricDef {
         name: "serve.channel.expected_wait",
         kind: MetricKind::Gauge,
         unit: "s",

@@ -9,14 +9,24 @@
 //! terminates the exposition with `# EOF` as the spec requires.
 //!
 //! The parser accepts exactly what the renderer produces (metadata
-//! lines, samples with optional `{le="…"}` labels, a final `# EOF`)
-//! and checks the structural invariants scrapes rely on: every sample
-//! belongs to a declared family, histogram buckets are cumulative and
-//! ordered, and values parse as finite floats. CI feeds scraped
-//! `/metrics` bodies through it via `dbcast flight check-metrics`.
+//! lines, samples with optional `{le="…"}` labels and optional
+//! exemplar annotations, a final `# EOF`) and checks the structural
+//! invariants scrapes rely on: every sample belongs to a declared
+//! family, histogram buckets are cumulative and ordered, values parse
+//! as finite floats, and exemplars appear only where the spec allows
+//! them (bucket and counter samples, label set ≤ 128 runes). CI feeds
+//! scraped `/metrics` bodies through it via
+//! `dbcast flight check-metrics`.
+//!
+//! Exemplars follow the OpenMetrics annotation syntax
+//! `name_bucket{le="X"} N # {label="v",…} value [timestamp]` and are
+//! attached at render time by an [`ExemplarProvider`] — the audit
+//! layer registers one (via [`set_exemplar_provider`]) that links tail
+//! wait buckets to concrete trace records.
 
 use std::fmt;
 use std::fmt::Write as _;
+use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::metrics::HistogramSnapshot;
 use crate::snapshot::Snapshot;
@@ -57,11 +67,72 @@ fn help_line(out: &mut String, om_name: &str, registry_name: &str) {
     }
 }
 
-fn render_histogram(out: &mut String, om_name: &str, h: &HistogramSnapshot) {
+/// A concrete observation attached to a bucket or counter sample per
+/// the OpenMetrics exemplar syntax: `… # {labels} value [timestamp]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    /// Label pairs identifying the exemplar (e.g. a request id).
+    pub labels: Vec<(String, String)>,
+    /// The exemplified observation's value.
+    pub value: f64,
+    /// Optional timestamp (seconds).
+    pub timestamp: Option<f64>,
+}
+
+/// Renders `ex` in the exemplar wire syntax (without the leading
+/// `` # `` separator).
+pub fn render_exemplar(ex: &Exemplar) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in ex.labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    let _ = write!(out, "}} {}", format_value(ex.value));
+    if let Some(ts) = ex.timestamp {
+        let _ = write!(out, " {}", format_value(ts));
+    }
+    out
+}
+
+/// Maps a registry metric name to the exemplars of its histogram
+/// buckets, keyed by the bucket's upper bound.
+pub type ExemplarProvider = dyn Fn(&str) -> Vec<(u64, Exemplar)> + Send + Sync;
+
+fn exemplar_provider_cell() -> &'static RwLock<Option<Arc<ExemplarProvider>>> {
+    static CELL: OnceLock<RwLock<Option<Arc<ExemplarProvider>>>> = OnceLock::new();
+    CELL.get_or_init(|| RwLock::new(None))
+}
+
+/// Installs (or with `None` clears) the process-global exemplar
+/// provider consulted by [`render_global`]. The serve CLI points this
+/// at the audit tracer so `/metrics` scrapes carry tail exemplars.
+pub fn set_exemplar_provider(provider: Option<Arc<ExemplarProvider>>) {
+    *exemplar_provider_cell().write().unwrap_or_else(|e| e.into_inner()) = provider;
+}
+
+fn render_histogram(
+    out: &mut String,
+    om_name: &str,
+    h: &HistogramSnapshot,
+    exemplars: &[(u64, Exemplar)],
+) {
     let mut cumulative = 0u64;
     for &(le, count) in &h.buckets {
         cumulative += count;
-        let _ = writeln!(out, "{om_name}_bucket{{le=\"{le}\"}} {cumulative}");
+        match exemplars.iter().find(|(b, _)| *b == le) {
+            Some((_, ex)) => {
+                let _ = writeln!(
+                    out,
+                    "{om_name}_bucket{{le=\"{le}\"}} {cumulative} # {}",
+                    render_exemplar(ex)
+                );
+            }
+            None => {
+                let _ = writeln!(out, "{om_name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+        }
     }
     let _ = writeln!(out, "{om_name}_bucket{{le=\"+Inf\"}} {}", h.count);
     let _ = writeln!(out, "{om_name}_sum {}", h.sum);
@@ -71,6 +142,15 @@ fn render_histogram(out: &mut String, om_name: &str, h: &HistogramSnapshot) {
 /// Renders `snapshot` in OpenMetrics text format (terminated with
 /// `# EOF`). Families appear in sorted-name order per section.
 pub fn render(snapshot: &Snapshot) -> String {
+    render_with_exemplars(snapshot, &|_| Vec::new())
+}
+
+/// Renders `snapshot` with histogram-bucket exemplars supplied by
+/// `provider` (called once per histogram with the registry name).
+pub fn render_with_exemplars(
+    snapshot: &Snapshot,
+    provider: &(impl Fn(&str) -> Vec<(u64, Exemplar)> + ?Sized),
+) -> String {
     let mut out = String::new();
     for (name, v) in &snapshot.counters {
         let om = sanitize_name(name);
@@ -88,15 +168,22 @@ pub fn render(snapshot: &Snapshot) -> String {
         let om = sanitize_name(name);
         let _ = writeln!(out, "# TYPE {om} histogram");
         help_line(&mut out, &om, name);
-        render_histogram(&mut out, &om, h);
+        render_histogram(&mut out, &om, h, &provider(name));
     }
     out.push_str("# EOF\n");
     out
 }
 
-/// Convenience: render the global registry's current state.
+/// Convenience: render the global registry's current state, with
+/// exemplars when a provider is installed.
 pub fn render_global() -> String {
-    render(&crate::registry().snapshot())
+    let provider =
+        exemplar_provider_cell().read().unwrap_or_else(|e| e.into_inner()).clone();
+    let snapshot = crate::registry().snapshot();
+    match provider {
+        Some(p) => render_with_exemplars(&snapshot, &*p),
+        None => render(&snapshot),
+    }
 }
 
 /// A parse/validation failure, with the 1-based line it occurred on.
@@ -128,7 +215,7 @@ pub enum FamilyKind {
     Histogram,
 }
 
-/// One sample line: `name{labels} value`.
+/// One sample line: `name{labels} value [# {labels} value [ts]]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
     /// Full sample name, including any `_total`/`_bucket`/… suffix.
@@ -137,6 +224,8 @@ pub struct Sample {
     pub labels: Vec<(String, String)>,
     /// The sample value.
     pub value: f64,
+    /// The exemplar annotation, if the line carried one.
+    pub exemplar: Option<Exemplar>,
 }
 
 /// One metric family: its metadata plus the samples that follow it.
@@ -169,7 +258,76 @@ fn valid_name(s: &str) -> bool {
         && !s.starts_with(|c: char| c.is_ascii_digit())
 }
 
-fn parse_sample(line: &str, lineno: usize) -> Result<Sample, ParseError> {
+/// Parses a `k="v",…` label body (the text between `{` and `}`).
+fn parse_labels(
+    labels_str: &str,
+    lineno: usize,
+) -> Result<Vec<(String, String)>, ParseError> {
+    let mut labels = Vec::new();
+    if !labels_str.is_empty() {
+        for pair in labels_str.split(',') {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| err(lineno, format!("malformed label {pair:?}")))?;
+            let v = v
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| err(lineno, format!("label value not quoted: {pair:?}")))?;
+            if !valid_name(k) {
+                return Err(err(lineno, format!("invalid label name {k:?}")));
+            }
+            labels.push((k.to_string(), v.to_string()));
+        }
+    }
+    Ok(labels)
+}
+
+/// Parses the text after a sample's `` # `` separator:
+/// `{labels} value [timestamp]`.
+fn parse_exemplar(text: &str, lineno: usize) -> Result<Exemplar, ParseError> {
+    let rest = text
+        .strip_prefix('{')
+        .ok_or_else(|| err(lineno, "exemplar is missing its label set"))?;
+    let close =
+        rest.find('}').ok_or_else(|| err(lineno, "unterminated exemplar label set"))?;
+    let labels = parse_labels(&rest[..close], lineno)?;
+    // The spec caps the combined rune length of exemplar label names
+    // and values at 128.
+    let runes: usize =
+        labels.iter().map(|(k, v)| k.chars().count() + v.chars().count()).sum();
+    if runes > 128 {
+        return Err(err(lineno, format!("exemplar label set has {runes} runes (> 128)")));
+    }
+    let mut it = rest[close + 1..].split_whitespace();
+    let value_str = it.next().ok_or_else(|| err(lineno, "exemplar has no value"))?;
+    let value =
+        value_str.parse::<f64>().ok().filter(|v| v.is_finite()).ok_or_else(|| {
+            err(lineno, format!("unparseable exemplar value {value_str:?}"))
+        })?;
+    let timestamp = match it.next() {
+        Some(ts) => {
+            Some(ts.parse::<f64>().ok().filter(|t| t.is_finite()).ok_or_else(|| {
+                err(lineno, format!("unparseable exemplar timestamp {ts:?}"))
+            })?)
+        }
+        None => None,
+    };
+    if it.next().is_some() {
+        return Err(err(lineno, "trailing tokens after exemplar timestamp"));
+    }
+    Ok(Exemplar { labels, value, timestamp })
+}
+
+fn parse_sample(full_line: &str, lineno: usize) -> Result<Sample, ParseError> {
+    // Split off an exemplar annotation first (`<sample> # <exemplar>`);
+    // the renderer never quotes a bare " # " inside label values, so
+    // the first occurrence is authoritative.
+    let (line, exemplar) = match full_line.find(" # ") {
+        Some(pos) => {
+            (&full_line[..pos], Some(parse_exemplar(full_line[pos + 3..].trim(), lineno)?))
+        }
+        None => (full_line, None),
+    };
     // `name{k="v",…} value` or `name value`.
     let (name_part, rest) = match line.find('{') {
         Some(open) => {
@@ -185,25 +343,7 @@ fn parse_sample(line: &str, lineno: usize) -> Result<Sample, ParseError> {
         return Err(err(lineno, format!("invalid sample name {name_part:?}")));
     }
     let (labels, value_str) = match rest {
-        Some((labels_str, tail)) => {
-            let mut labels = Vec::new();
-            if !labels_str.is_empty() {
-                for pair in labels_str.split(',') {
-                    let (k, v) = pair
-                        .split_once('=')
-                        .ok_or_else(|| err(lineno, format!("malformed label {pair:?}")))?;
-                    let v =
-                        v.strip_prefix('"').and_then(|v| v.strip_suffix('"')).ok_or_else(
-                            || err(lineno, format!("label value not quoted: {pair:?}")),
-                        )?;
-                    if !valid_name(k) {
-                        return Err(err(lineno, format!("invalid label name {k:?}")));
-                    }
-                    labels.push((k.to_string(), v.to_string()));
-                }
-            }
-            (labels, tail.trim())
-        }
+        Some((labels_str, tail)) => (parse_labels(labels_str, lineno)?, tail.trim()),
         None => {
             let mut it = line.split_whitespace();
             let _ = it.next();
@@ -221,7 +361,15 @@ fn parse_sample(line: &str, lineno: usize) -> Result<Sample, ParseError> {
             .parse::<f64>()
             .map_err(|_| err(lineno, format!("unparseable value {other:?}")))?,
     };
-    Ok(Sample { name: name_part.to_string(), labels, value })
+    if exemplar.is_some()
+        && !(name_part.ends_with("_bucket") || name_part.ends_with("_total"))
+    {
+        return Err(err(
+            lineno,
+            format!("exemplar on {name_part:?} (only buckets and counters may carry one)"),
+        ));
+    }
+    Ok(Sample { name: name_part.to_string(), labels, value, exemplar })
 }
 
 /// Does `sample` belong to the family `base` of kind `kind`?
@@ -502,6 +650,94 @@ mod tests {
     fn rejects_negative_counter() {
         let e = parse("# TYPE x counter\nx_total -1\n# EOF\n").unwrap_err();
         assert!(e.message.contains("negative"), "{e}");
+    }
+
+    #[test]
+    fn exemplars_render_and_round_trip() {
+        let exemplar = Exemplar {
+            labels: vec![
+                ("request_id".into(), "4711".into()),
+                ("channel".into(), "2".into()),
+            ],
+            value: 1_250_000.0,
+            timestamp: Some(12.5),
+        };
+        let snapshot = sample_snapshot();
+        let provider = move |name: &str| {
+            if name == "serve.swap_latency" {
+                vec![(1023u64, exemplar.clone())]
+            } else {
+                Vec::new()
+            }
+        };
+        let text = render_with_exemplars(&snapshot, &provider);
+        assert!(
+            text.contains(
+                "serve_swap_latency_bucket{le=\"1023\"} 3 \
+                 # {request_id=\"4711\",channel=\"2\"} 1250000 12.5"
+            ),
+            "exemplar line missing:\n{text}"
+        );
+        let families = parse(&text).expect("exemplar-annotated output parses");
+        let hist = families.iter().find(|f| f.name == "serve_swap_latency").unwrap();
+        let annotated: Vec<&Sample> =
+            hist.samples.iter().filter(|s| s.exemplar.is_some()).collect();
+        assert_eq!(annotated.len(), 1);
+        let parsed = annotated[0].exemplar.as_ref().unwrap();
+        assert_eq!(parsed.labels[0], ("request_id".to_string(), "4711".to_string()));
+        assert_eq!(parsed.value, 1_250_000.0);
+        assert_eq!(parsed.timestamp, Some(12.5));
+        // The wire form itself round-trips: re-rendering the parsed
+        // exemplar reproduces the annotation byte for byte.
+        assert!(text.contains(&format!("# {}", render_exemplar(parsed))));
+    }
+
+    #[test]
+    fn exemplar_without_timestamp_parses() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 1 # {id=\"7\"} 0.5\n\
+                    h_bucket{le=\"+Inf\"} 1\n\
+                    h_sum 1\nh_count 1\n# EOF\n";
+        let families = parse(text).expect("parses");
+        let ex = families[0].samples[0].exemplar.as_ref().expect("exemplar kept");
+        assert_eq!(ex.value, 0.5);
+        assert_eq!(ex.timestamp, None);
+    }
+
+    #[test]
+    fn rejects_exemplar_on_gauge_sample() {
+        let text = "# TYPE g gauge\ng 1 # {id=\"7\"} 0.5\n# EOF\n";
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("only buckets and counters"), "{e}");
+    }
+
+    #[test]
+    fn rejects_oversized_exemplar_label_set() {
+        let big = "x".repeat(140);
+        let text = format!(
+            "# TYPE h histogram\n\
+             h_bucket{{le=\"1\"}} 1 # {{id=\"{big}\"}} 0.5\n\
+             h_bucket{{le=\"+Inf\"}} 1\nh_sum 1\nh_count 1\n# EOF\n"
+        );
+        let e = parse(&text).unwrap_err();
+        assert!(e.message.contains("128"), "{e}");
+    }
+
+    #[test]
+    fn rejects_malformed_exemplars() {
+        for (annotation, why) in [
+            ("# 0.5", "missing label set"),
+            ("# {id=\"7\" 0.5", "unterminated label set"),
+            ("# {id=\"7\"}", "missing value"),
+            ("# {id=\"7\"} 0.5 1.0 junk", "trailing tokens"),
+        ] {
+            let text = format!(
+                "# TYPE h histogram\n\
+                 h_bucket{{le=\"1\"}} 1 {annotation}\n\
+                 h_bucket{{le=\"+Inf\"}} 1\nh_sum 1\nh_count 1\n# EOF\n"
+            );
+            assert!(parse(&text).is_err(), "{why} accepted");
+        }
     }
 
     #[test]

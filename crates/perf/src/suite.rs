@@ -269,6 +269,57 @@ pub fn standard_suite() -> Vec<Benchmark> {
         black_box(scope_store.latest_tick());
     }));
 
+    // The per-request audit tax in isolation, at the default sample
+    // rate: the same request count the serve-loop benchmark pushes
+    // through its closed loop (4000), here paying only the audit path
+    // — seeded sampling decision, residual accounting, tail check and
+    // (for sampled requests) a seqlock ring record. The synthetic
+    // stream is precomputed so the measured loop is audit work alone.
+    // Pinned to ≤2% of the serve-loop median by the contract test
+    // below.
+    let audit_tracer = dbcast_audit::AuditTracer::new(
+        dbcast_audit::AuditConfig { seed: 42, ..dbcast_audit::AuditConfig::default() },
+        6,
+    );
+    let audit_stream: Vec<(u32, u32, f64, f64)> = (0..4_000u32)
+        .map(|id| {
+            let channel = id % 6;
+            let predicted = 0.3 + f64::from(channel) * 0.01;
+            // A 1-in-499 slow outlier keeps the tail stage exercised.
+            let slow_spike = if id % 499 == 0 { 3.0 } else { 1.0 };
+            let wait = (predicted + f64::from(id % 13) * 0.005) * slow_spike;
+            (id, channel, wait, predicted)
+        })
+        .collect();
+    suite.push(Benchmark::new("audit_sampler", move || {
+        for &(id, channel, wait, predicted) in &audit_stream {
+            let residual = audit_tracer.observe_wait(channel as usize, wait, predicted);
+            let seeded = audit_tracer.should_sample(u64::from(id));
+            let tail = audit_tracer.tail_slow(wait, 0.35);
+            if seeded || tail {
+                // Only sampled requests (~2% at the default rate) pay
+                // for a full lifecycle record.
+                audit_tracer.record(&dbcast_audit::TraceRecord {
+                    request_id: u64::from(id),
+                    item: u64::from(id % 120),
+                    arrival_tick: u64::from(id / 50),
+                    satisfied_tick: u64::from(id / 50 + 1),
+                    generation: 0,
+                    channel: u64::from(channel),
+                    queue_position: u64::from(id % 7),
+                    arrival: f64::from(id) * 0.02,
+                    wait,
+                    predicted,
+                    straddle_penalty: 0.0,
+                    flags: (u64::from(seeded) * dbcast_audit::FLAG_SEEDED)
+                        | (u64::from(tail) * dbcast_audit::FLAG_TAIL),
+                });
+            }
+            black_box(residual);
+        }
+        black_box(audit_tracer.sampled());
+    }));
+
     suite
 }
 
@@ -294,7 +345,8 @@ mod tests {
                 "conformance_gen",
                 "serve_loop",
                 "serve_swap",
-                "scope_sampler"
+                "scope_sampler",
+                "audit_sampler"
             ]
         );
     }
@@ -314,6 +366,26 @@ mod tests {
             sampler.median_ns <= 0.02 * serve.median_ns,
             "sampler scrape ({} ns) exceeds 2% of the serve-loop median ({} ns)",
             sampler.median_ns,
+            serve.median_ns,
+        );
+    }
+
+    #[test]
+    fn audit_overhead_is_pinned_in_the_bench_contract() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json");
+        let baseline = crate::BenchReport::load(std::path::Path::new(path))
+            .expect("committed baseline loads");
+        let audit = baseline
+            .benchmark("audit_sampler")
+            .expect("baseline carries the audit-sampler benchmark");
+        let serve = baseline
+            .benchmark("serve_loop")
+            .expect("baseline carries the serve-loop benchmark");
+        assert!(
+            audit.median_ns <= 0.02 * serve.median_ns,
+            "per-request audit tax ({} ns for the 4000-request sweep) exceeds 2% \
+             of the serve-loop median ({} ns)",
+            audit.median_ns,
             serve.median_ns,
         );
     }

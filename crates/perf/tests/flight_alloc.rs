@@ -77,6 +77,9 @@ fn run_allocs(rate: f64) -> u64 {
         slo: None,
         pace_ms: 0,
         inject_panic_at_tick: None,
+        audit: Default::default(),
+        inject_slow_channel: None,
+        inject_slow_factor: 1.0,
     };
     let runtime = ServeRuntime::new(&db, config).expect("runtime builds");
     let (before, _) = allocation_counts();

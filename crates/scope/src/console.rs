@@ -187,7 +187,9 @@ pub fn render_top(doc: &SeriesDoc, opts: &TopOptions) -> String {
 
     // Per-channel Eq. 2 table: `serve.channel.expected_wait.<i>` is
     // channel i's contribution to the analytical wait (F_i·Z_i / 2b),
-    // `serve.channel.load.<i>` its share of the access probability.
+    // `serve.channel.load.<i>` its share of the access probability and
+    // `serve.audit.residual.<i>` the audit tracer's observed-minus-
+    // predicted mean wait ("-" until the tracer has observations).
     let waits: Vec<&SeriesEntry> =
         doc.series_with_prefix("serve.channel.expected_wait.").collect();
     if !waits.is_empty() {
@@ -198,12 +200,17 @@ pub fn render_top(doc: &SeriesDoc, opts: &TopOptions) -> String {
                 .series(&format!("serve.channel.load.{index}"))
                 .and_then(|s| s.last())
                 .unwrap_or(0.0);
+            let residual = doc
+                .series(&format!("serve.audit.residual.{index}"))
+                .and_then(|s| s.last())
+                .map_or_else(|| "-".to_string(), |r| format!("{r:+.4}"));
             let values = raw_values(entry);
             let last = values.last().copied().unwrap_or(0.0);
             out.push_str(&format!(
-                "  ch{index:<3} load {:>7}  W {:>8}  {}\n",
+                "  ch{index:<3} load {:>7}  W {:>8}  resid {:>8}  {}\n",
                 fmt_value(load),
                 fmt_value(last),
+                residual,
                 sparkline(&values, opts.width)
             ));
         }
@@ -279,6 +286,7 @@ mod tests {
                 entry("serve.channel.expected_wait.1", SeriesKind::Gauge, &[0.1, 0.09]),
                 entry("serve.channel.load.0", SeriesKind::Gauge, &[0.6, 0.6]),
                 entry("serve.channel.load.1", SeriesKind::Gauge, &[0.4, 0.4]),
+                entry("serve.audit.residual.0", SeriesKind::Gauge, &[0.01, 0.0153]),
                 entry("serve.drift_distance", SeriesKind::Gauge, &[0.01, 0.3, 0.02]),
                 entry("serve.generation", SeriesKind::Gauge, &[0.0, 1.0]),
                 entry("serve.requests", SeriesKind::Counter, &[100.0, 250.0]),
@@ -293,6 +301,9 @@ mod tests {
         for needle in ["req/s", "drift L1", "SLO burn", "generation", "ch0", "ch1"] {
             assert!(text.contains(needle), "missing {needle}:\n{text}");
         }
+        // Channel 0 has an audit residual series, channel 1 does not.
+        assert!(text.contains("resid  +0.0153"), "residual column:\n{text}");
+        assert!(text.contains("resid        -"), "missing residual dash:\n{text}");
         assert!(text.contains('▁') || text.contains('▄'), "no sparkline:\n{text}");
         // Plain mode carries no ANSI escapes.
         assert!(!text.contains('\x1b'), "escapes in plain render:\n{text}");

@@ -34,6 +34,7 @@ mod slo;
 mod source;
 mod swap;
 
+pub use dbcast_audit::{AuditConfig, AuditSummary};
 pub use drift::{l1_distance, Drift, DriftDetector};
 pub use estimator::{EstimatorConfig, FrequencyEstimator};
 pub use runtime::{

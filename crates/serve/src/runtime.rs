@@ -33,10 +33,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dbcast_alloc::{DrpCds, DynamicBroadcast, RepairOutcome};
+use dbcast_audit::{
+    AuditConfig, AuditSummary, AuditTracer, TraceRecord, FLAG_SEEDED, FLAG_TAIL,
+};
 use dbcast_flight::{EventKind, FlightEvent};
 use dbcast_model::{
     average_waiting_time, AllocError, Allocation, BroadcastProgram, ChannelAllocator,
-    Database, ItemSpec, ModelError,
+    Database, ItemId, ItemSpec, ModelError,
 };
 use dbcast_obs::metrics::{Counter, Gauge, Histogram};
 use dbcast_sim::SummaryStats;
@@ -112,6 +115,16 @@ pub struct ServeConfig {
     /// Fail point: panic at this tick (after recording a `Fault`
     /// flight event), for postmortem-dump drills. `None` in production.
     pub inject_panic_at_tick: Option<u64>,
+    /// Per-request audit tracer (always on; the sampling shift keeps
+    /// its steady-state cost to a hash and compare per request).
+    pub audit: AuditConfig,
+    /// Fail point: multiply observed waits on this channel by
+    /// [`ServeConfig::inject_slow_factor`], for residual-attribution
+    /// drills. `None` in production.
+    pub inject_slow_channel: Option<usize>,
+    /// Wait multiplier applied on [`ServeConfig::inject_slow_channel`]
+    /// (ignored when that is `None`).
+    pub inject_slow_factor: f64,
 }
 
 impl Default for ServeConfig {
@@ -127,6 +140,9 @@ impl Default for ServeConfig {
             slo: None,
             pace_ms: 0,
             inject_panic_at_tick: None,
+            audit: AuditConfig::default(),
+            inject_slow_channel: None,
+            inject_slow_factor: 1.0,
         }
     }
 }
@@ -256,6 +272,8 @@ pub struct ServeReport {
     pub final_assignment: Vec<usize>,
     /// The estimator's frequency vector when the run ended.
     pub estimated_frequencies: Vec<f64>,
+    /// Audit-tracer totals and the final generation's residual table.
+    pub audit: AuditSummary,
 }
 
 impl ServeReport {
@@ -349,6 +367,35 @@ fn recompute(job: &RepairJob, mode: RepairMode, channels: usize) -> Option<Repai
     })
 }
 
+/// The request's position in the channel's cyclic "queue" at `now`:
+/// how many of the channel's slots start strictly between the current
+/// broadcast phase and the requested item's next start. Deterministic
+/// and allocation-free (a scan over the channel's slot table).
+fn queue_position(
+    program: &BroadcastProgram,
+    channel: usize,
+    item: ItemId,
+    now: f64,
+    bandwidth: f64,
+) -> u64 {
+    let Some(schedule) = program.channels().get(channel) else { return 0 };
+    let cycle = schedule.cycle_size();
+    if cycle <= 0.0 {
+        return 0;
+    }
+    let Some(slot) = schedule.slot_of(item) else { return 0 };
+    let phase = (now * bandwidth).rem_euclid(cycle);
+    let target = (slot.offset - phase).rem_euclid(cycle);
+    schedule
+        .slots()
+        .iter()
+        .filter(|s| {
+            let delta = (s.offset - phase).rem_euclid(cycle);
+            delta < target
+        })
+        .count() as u64
+}
+
 /// The long-running serving runtime.
 ///
 /// # Example
@@ -378,6 +425,8 @@ pub struct ServeRuntime {
     /// loop records through these without ever touching the registry's
     /// name tables (no lock, no lookup, no allocation per tick).
     metrics: ServeMetrics,
+    /// Per-request audit tracer; shared with exposition readers.
+    audit: Arc<AuditTracer>,
 }
 
 /// The serving runtime's metric handles, interned at construction.
@@ -398,10 +447,15 @@ struct ServeMetrics {
     slo_target_wait: &'static Gauge,
     swap_latency: &'static Histogram,
     wait: &'static Histogram,
+    audit_sampled: &'static Counter,
+    audit_tail: &'static Counter,
+    audit_straddled: &'static Counter,
+    /// `serve.audit.residual.<i>`, one handle per channel.
+    audit_residual: Vec<&'static Gauge>,
 }
 
 impl ServeMetrics {
-    fn resolve() -> Self {
+    fn resolve(channels: usize) -> Self {
         let r = dbcast_obs::registry();
         ServeMetrics {
             requests: r.counter("serve.requests"),
@@ -419,6 +473,12 @@ impl ServeMetrics {
             slo_target_wait: r.gauge("serve.slo.target_wait"),
             swap_latency: r.histogram("serve.swap_latency"),
             wait: r.histogram("serve.wait"),
+            audit_sampled: r.counter("serve.audit.sampled"),
+            audit_tail: r.counter("serve.audit.tail_sampled"),
+            audit_straddled: r.counter("serve.audit.straddled"),
+            audit_residual: (0..channels)
+                .map(|i| r.gauge(&format!("serve.audit.residual.{i}")))
+                .collect(),
         }
     }
 }
@@ -446,7 +506,8 @@ impl ServeRuntime {
             config,
             sizes: db.iter().map(|d| d.size()).collect(),
             cell: Arc::new(EpochCell::new(generation)),
-            metrics: ServeMetrics::resolve(),
+            metrics: ServeMetrics::resolve(config.channels),
+            audit: Arc::new(AuditTracer::new(config.audit, config.channels)),
         };
         runtime.publish_channel_gauges(&runtime.cell.current().value);
         Ok(runtime)
@@ -478,6 +539,23 @@ impl ServeRuntime {
     /// swaps without blocking.
     pub fn cell(&self) -> Arc<EpochCell<ProgramGeneration>> {
         Arc::clone(&self.cell)
+    }
+
+    /// The per-request audit tracer — clone it into exposition readers
+    /// (`/exemplars`, the OpenMetrics exemplar provider) to snapshot
+    /// traces and residuals without blocking the serving loop.
+    pub fn audit(&self) -> Arc<AuditTracer> {
+        Arc::clone(&self.audit)
+    }
+
+    /// The per-item Eq. 2 prediction for `item` on `channel` of `gen`:
+    /// the expected probe wait of a cycle, `cycle_c/(2b)`, plus the
+    /// item's own download time `z_i/b`.
+    fn predicted_wait(&self, gen: &ProgramGeneration, channel: usize, item: ItemId) -> f64 {
+        let cycle =
+            gen.program.channels().get(channel).map(|c| c.cycle_size()).unwrap_or(0.0);
+        let size = self.sizes.get(item.index()).copied().unwrap_or(0.0);
+        cycle / (2.0 * self.config.bandwidth) + size / self.config.bandwidth
     }
 
     /// One tick = one full cycle of the *fastest* non-empty channel of
@@ -564,6 +642,7 @@ impl ServeRuntime {
             generations: Vec::new(),
             final_assignment: Vec::new(),
             estimated_frequencies: Vec::new(),
+            audit: AuditSummary::default(),
         };
         let mut slo_tracker = {
             let gen0 = self.cell.current();
@@ -767,7 +846,18 @@ impl ServeRuntime {
             let r = *requests.next().expect("peeked above");
             let serving = self.cell.current();
             match serving.value.program.response_time(r.item, r.time) {
-                Some(wait) => {
+                Some(base_wait) => {
+                    let request_id = report.requests;
+                    let channel =
+                        serving.value.assignment.get(r.item.index()).copied().unwrap_or(0);
+                    // Fail point: a drill can degrade one channel's
+                    // observed waits to drive its residual gauge
+                    // positive ahead of any SLO reaction.
+                    let wait = if self.config.inject_slow_channel == Some(channel) {
+                        base_wait * self.config.inject_slow_factor
+                    } else {
+                        base_wait
+                    };
                     report.requests += 1;
                     report.waiting.record(wait);
                     let stats = report
@@ -791,14 +881,15 @@ impl ServeRuntime {
                         .value(wait)
                         .extra(r.item.index() as u64),
                     );
+                    let mut verdict = None;
                     if let Some(tracker) = slo_tracker.as_mut() {
-                        let verdict = tracker.observe(wait);
-                        if verdict.slow {
+                        let v = tracker.observe(wait);
+                        if v.slow {
                             report.slo_breaches += 1;
                             self.metrics.slo_breaches.inc();
                         }
-                        self.metrics.slo_burn_rate.set(verdict.burn_rate);
-                        if verdict.breached {
+                        self.metrics.slo_burn_rate.set(v.burn_rate);
+                        if v.breached {
                             dbcast_flight::record(
                                 FlightEvent::new(
                                     EventKind::SloBreach,
@@ -806,13 +897,63 @@ impl ServeRuntime {
                                     serving.generation,
                                     r.time,
                                 )
-                                .value(verdict.burn_rate)
+                                .value(v.burn_rate)
                                 .extra(tracker.report().slow),
                             );
                         }
-                        if verdict.trigger {
+                        if v.trigger {
                             slo_trigger_pending = true;
                         }
+                        verdict = Some(v);
+                    }
+                    // Audit: residual accounting on every request, a
+                    // full lifecycle record for the seeded sample plus
+                    // every SLO-slow (tail) request.
+                    let predicted = self.predicted_wait(&serving.value, channel, r.item);
+                    let residual = self.audit.observe_wait(channel, wait, predicted);
+                    if let Some(g) = self.metrics.audit_residual.get(channel) {
+                        g.set(residual);
+                    }
+                    let seeded = self.audit.should_sample(request_id);
+                    let slow = match verdict {
+                        Some(v) => v.slow,
+                        None => self.audit.tail_slow(wait, serving.value.expected_wait),
+                    };
+                    if seeded || slow {
+                        if seeded {
+                            self.metrics.audit_sampled.inc();
+                        }
+                        if slow {
+                            self.metrics.audit_tail.inc();
+                        }
+                        let completion = r.time + wait;
+                        let satisfied_tick = report.ticks
+                            + if completion > tick_end {
+                                ((completion - tick_end) / tick_len).ceil() as u64
+                            } else {
+                                0
+                            };
+                        self.audit.record(&TraceRecord {
+                            request_id,
+                            item: r.item.index() as u64,
+                            arrival_tick: report.ticks,
+                            satisfied_tick,
+                            generation: serving.generation,
+                            channel: channel as u64,
+                            queue_position: queue_position(
+                                &serving.value.program,
+                                channel,
+                                r.item,
+                                r.time,
+                                self.config.bandwidth,
+                            ),
+                            arrival: r.time,
+                            wait,
+                            predicted,
+                            straddle_penalty: 0.0,
+                            flags: if seeded { FLAG_SEEDED } else { 0 }
+                                | if slow { FLAG_TAIL } else { 0 },
+                        });
                     }
                 }
                 None => {
@@ -837,6 +978,7 @@ impl ServeRuntime {
         }
         self.metrics.generation.set(final_gen.generation as f64);
         self.metrics.generation_cost.set(final_gen.value.cost);
+        report.audit = self.audit.summary();
         Ok(report)
     }
 
@@ -866,6 +1008,10 @@ impl ServeRuntime {
         };
         let gen = self.cell.publish(generation);
         self.publish_channel_gauges(&self.cell.current().value);
+        // Stamp swap-straddle penalties into in-flight sampled records
+        // and roll the residual ledger onto the new generation.
+        let straddled = self.audit.on_swap(boundary, gen);
+        self.metrics.audit_straddled.add(straddled);
         report.swaps += 1;
         self.metrics.swaps.inc();
         self.metrics.swap_latency.record(result.repair.wall_ns);

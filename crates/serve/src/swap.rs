@@ -79,11 +79,14 @@ impl<T> EpochCell<T> {
             let slot = &self.slots[(gen as usize) % Self::CAPACITY];
             let guard = slot.read().expect("epoch slot poisoned");
             if let Some(v) = guard.as_ref() {
-                // The slot may already hold a *newer* generation if the
-                // writer lapped us mid-read; newer is fine (freshness is
-                // monotone), older means we raced the initial store of a
-                // wrapped slot — retry.
-                if v.generation >= gen {
+                // Only the exact published generation may be returned.
+                // The slot holds a *newer* one when the writer lapped us
+                // mid-read (it fills the slot before bumping the
+                // counter); returning that unpublished value would let a
+                // reader observe generations out of order across calls.
+                // Older means we raced the initial store of a wrapped
+                // slot. Either way the counter has moved — retry.
+                if v.generation == gen {
                     return Arc::clone(v);
                 }
             }

@@ -132,6 +132,9 @@ proptest! {
             slo: None,
             pace_ms: 0,
             inject_panic_at_tick: None,
+            audit: Default::default(),
+            inject_slow_channel: None,
+            inject_slow_factor: 1.0,
         };
         let run = |_| {
             let runtime = ServeRuntime::new(&db, config).unwrap();

@@ -49,6 +49,9 @@ fn base_config() -> ServeConfig {
         slo: None,
         pace_ms: 0,
         inject_panic_at_tick: None,
+        audit: dbcast_serve::AuditConfig::default(),
+        inject_slow_channel: None,
+        inject_slow_factor: 1.0,
     }
 }
 
@@ -277,4 +280,23 @@ fn every_recorded_metric_is_catalogued() {
             "metric {name:?} is not in dbcast_obs::catalog::CATALOG"
         );
     }
+
+    // The audit tracer's metrics are part of the catalogue contract:
+    // they must actually be recorded by a serve run (not just described)
+    // so `dbcast top` and the CI drills can rely on them.
+    let counter_names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+    for required in
+        ["serve.audit.sampled", "serve.audit.tail_sampled", "serve.audit.straddled"]
+    {
+        assert!(
+            counter_names.contains(&required),
+            "audit counter {required:?} was not recorded by the serve run"
+        );
+        assert!(dbcast_obs::catalog::describe(required).is_some());
+    }
+    assert!(
+        snap.gauges.iter().any(|(n, _)| n.starts_with("serve.audit.residual.")),
+        "no serve.audit.residual.<i> gauge was recorded by the serve run"
+    );
+    assert!(dbcast_obs::catalog::describe("serve.audit.residual.0").is_some());
 }

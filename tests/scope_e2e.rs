@@ -55,6 +55,9 @@ fn base_config() -> ServeConfig {
         slo: None,
         pace_ms: 0,
         inject_panic_at_tick: None,
+        audit: Default::default(),
+        inject_slow_channel: None,
+        inject_slow_factor: 1.0,
     }
 }
 

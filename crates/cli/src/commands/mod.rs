@@ -3,6 +3,7 @@
 mod allocate;
 mod conformance_cmd;
 mod evaluate;
+mod fleet_cmd;
 mod flight_cmd;
 mod generate;
 mod index_cmd;
@@ -19,6 +20,7 @@ mod trace_cmd;
 pub use allocate::run_allocate;
 pub use conformance_cmd::run_conformance;
 pub use evaluate::run_evaluate;
+pub use fleet_cmd::run_fleet_cmd;
 pub use flight_cmd::run_flight;
 pub use generate::run_generate;
 pub use index_cmd::run_index;
@@ -81,6 +83,8 @@ pub enum CliError {
     },
     /// A telemetry scrape (`dbcast top`, `/series` validation) failed.
     Scrape(String),
+    /// A network fleet run or fleet-report validation failed.
+    Fleet(String),
     /// Scope watchdog rules fired during a `serve --watch` run.
     Watchdog {
         /// Number of rules that fired.
@@ -120,6 +124,7 @@ impl fmt::Display for CliError {
                  see the comparison above (refresh intentionally with --update-baseline)"
             ),
             CliError::Scrape(msg) => write!(f, "telemetry scrape failed: {msg}"),
+            CliError::Fleet(msg) => write!(f, "fleet: {msg}"),
             CliError::Watchdog { firings } => write!(
                 f,
                 "watchdog: {firings} rule(s) fired during the run; \

@@ -185,6 +185,41 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
         )));
     }
 
+    // Framed TCP broadcast egress: stream the live cyclic program (the
+    // epoch cell the runtime hot-swaps) as real frames so `dbcast
+    // fleet --connect` clients can measure it end to end.
+    let bcast = match args.opt::<String>("listen-bcast")? {
+        None => None,
+        Some(addr) => {
+            let index =
+                super::fleet_cmd::parse_index_params(args, "bcast-index", "bcast-header")?;
+            let pace_ms = args.opt_or("bcast-pace-ms", 10u64)?;
+            let server = std::sync::Arc::new(dbcast_net::BroadcastServer::bind(
+                addr.as_str(),
+                dbcast_net::NetConfig::default(),
+            )?);
+            writeln!(out, "broadcasting frames on tcp://{}", server.addr())?;
+            let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let source = dbcast_net::EpochSource::new(runtime.cell());
+            let egress_config = dbcast_net::EgressConfig {
+                index,
+                max_windows: None,
+                pace: (pace_ms > 0).then(|| std::time::Duration::from_millis(pace_ms)),
+            };
+            let egress_server = std::sync::Arc::clone(&server);
+            let egress_stop = std::sync::Arc::clone(&stop);
+            let handle = std::thread::spawn(move || {
+                dbcast_net::run_egress(
+                    &egress_server,
+                    &source,
+                    &egress_config,
+                    &egress_stop,
+                )
+            });
+            Some((server, stop, handle))
+        }
+    };
+
     let exposition = match &listen {
         None => None,
         Some(addr) => {
@@ -224,6 +259,28 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
     };
 
     let run_result = runtime.run(&trace);
+    if let Some((server, stop, handle)) = bcast {
+        // Let the egress notice the stop flag, send its End frame and
+        // return its report before the sockets go away.
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        let egress = handle
+            .join()
+            .map_err(|_| CliError::Fleet("broadcast egress thread panicked".to_string()))?;
+        match egress {
+            Ok(report) => writeln!(
+                out,
+                "broadcast egress: {} frame(s) over {} window(s), \
+                 {} generation(s), {} truncated at swaps, {} dropped",
+                report.frames,
+                report.windows,
+                report.generations,
+                report.truncated,
+                server.dropped_frames()
+            )?,
+            Err(e) => writeln!(out, "broadcast egress failed: {e}")?,
+        }
+        server.shutdown();
+    }
     if let Some(mut server) = exposition {
         server.shutdown();
     }

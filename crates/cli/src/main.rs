@@ -31,6 +31,9 @@ COMMANDS:
     simulate        Run the discrete-event broadcast simulator
     serve           Online serving: estimate the workload live, detect
                     drift, re-allocate and hot-swap the program
+    fleet           Simulated client fleet over the framed TCP broadcast
+                    transport: measure per-request access and tuning
+                    time against the Eq. 2 expectations (run | check)
     paper-example   Replay the paper's Tables 2-4 worked example
     sweep           Run one of the paper's parameter sweeps
     index           (1, m) air-indexing report (access/tuning/energy)
@@ -107,6 +110,33 @@ COMMAND-SPECIFIC:
                --inject-slow-channel I  scale the wait of channel I's
                               requests by --inject-slow-factor X
                               (residual-attribution drills) [default: 1.0]
+               --listen-bcast ADDR  stream the live cyclic program as
+                              framed TCP broadcast (data + directory
+                              frames, hot swaps included) for `dbcast
+                              fleet --connect` clients
+               --bcast-index SIZE   also air (1,m) index frames of SIZE
+                              (with --bcast-header H    [default: 0.05])
+               --bcast-pace-ms N    wall ms per broadcast window; 0 =
+                              full speed                  [default: 10]
+    fleet:     --connect H:P  measure a live `serve --listen-bcast`
+                              stream (otherwise an in-process loopback
+                              stream is built from the common workload
+                              options with --swap-at W / --swap-channels
+                              K / --fleet-index SIZE / --windows N)
+               --clients N    concurrent clients           [default: 8]
+               --requests R   requests per client        [default: 100]
+               --rate L       arrivals per virtual second  [default: 1]
+               --cache C      none|lru|pix                 [default: none]
+               --cache-budget Z  cache size budget         [default: 0]
+               --pattern P    single|frequent              [default: single]
+               --patterns N   frequent-pattern pool size   [default: 8]
+               --max-size M   max items per frequent set   [default: 4]
+               --out PATH     write the fleet report JSON to PATH
+               --json         print the fleet report JSON to stdout
+               --once         single measurement pass (the default; CI
+                              symmetry with `dbcast top --once`)
+    fleet check: --input FILE validate a saved fleet report; any
+                              violated invariant exits non-zero
     sweep:     --axis A       k | n | phi | theta  [default: k]
                --seeds S      average over S seeds
                --quick        3 seeds instead of 20
@@ -198,6 +228,7 @@ fn run() -> Result<(), CliError> {
         Some("evaluate") => commands::run_evaluate(&args, &mut stdout),
         Some("simulate") => commands::run_simulate(&args, &mut stdout),
         Some("serve") => commands::run_serve(&args, &mut stdout),
+        Some("fleet") => commands::run_fleet_cmd(&args, &mut stdout),
         Some("paper-example") => commands::run_paper_example(&args, &mut stdout),
         Some("sweep") => commands::run_sweep_cmd(&args, &mut stdout),
         Some("index") => commands::run_index(&args, &mut stdout),

@@ -251,6 +251,78 @@ pub const CATALOG: &[MetricDef] = &[
         help: "Invariant violations found across all conformance runs",
     },
     MetricDef {
+        name: "fleet.access",
+        kind: MetricKind::Histogram,
+        unit: "us",
+        help: "Per-request access time measured by fleet clients (virtual microseconds)",
+    },
+    MetricDef {
+        name: "fleet.cache_hits",
+        kind: MetricKind::Counter,
+        unit: "1",
+        help: "Requested items answered from fleet client caches",
+    },
+    MetricDef {
+        name: "fleet.conflicts",
+        kind: MetricKind::Counter,
+        unit: "1",
+        help: "Wanted-item occurrences that aired while a fleet client's tuner was busy",
+    },
+    MetricDef {
+        name: "fleet.requests",
+        kind: MetricKind::Counter,
+        unit: "1",
+        help: "Requests measured across all fleet clients",
+    },
+    MetricDef {
+        name: "fleet.retunes",
+        kind: MetricKind::Counter,
+        unit: "1",
+        help: "Fleet client downloads abandoned at a hot-swap boundary",
+    },
+    MetricDef {
+        name: "fleet.torn_frames",
+        kind: MetricKind::Counter,
+        unit: "1",
+        help: "Planned fleet downloads the recorded air could not corroborate",
+    },
+    MetricDef {
+        name: "fleet.tuning",
+        kind: MetricKind::Histogram,
+        unit: "us",
+        help: "Per-request tuning time measured by fleet clients (virtual microseconds)",
+    },
+    MetricDef {
+        name: "net.bytes_sent",
+        kind: MetricKind::Counter,
+        unit: "By",
+        help: "Frame bytes enqueued to broadcast subscribers",
+    },
+    MetricDef {
+        name: "net.decode_errors",
+        kind: MetricKind::Counter,
+        unit: "1",
+        help: "Wire frames a client failed to decode (bad magic, checksum, payload)",
+    },
+    MetricDef {
+        name: "net.dropped_frames",
+        kind: MetricKind::Counter,
+        unit: "1",
+        help: "Frames dropped by the slow-client policy (subscriber queue full)",
+    },
+    MetricDef {
+        name: "net.frames_sent",
+        kind: MetricKind::Counter,
+        unit: "1",
+        help: "Frames enqueued to broadcast subscribers (fan-out counted per subscriber)",
+    },
+    MetricDef {
+        name: "net.subscribers",
+        kind: MetricKind::Gauge,
+        unit: "1",
+        help: "Live broadcast subscriber connections",
+    },
+    MetricDef {
         name: "scope.sampler.scrape",
         kind: MetricKind::Histogram,
         unit: "ns",

@@ -13,6 +13,7 @@ use dbcast_alloc::{BestMoveEngine, Cds, Drp, DrpCds};
 use dbcast_baselines::{Gopt, GoptConfig, Vfk};
 use dbcast_conformance::{GeneratorConfig, InstanceGenerator};
 use dbcast_model::{Allocation, BroadcastProgram, ChannelAllocator, Database};
+use dbcast_net::{EgressConfig, FleetConfig, NetConfig, ScriptedSource, SourceGeneration};
 use dbcast_serve::{DriftDetector, ServeConfig, ServeRuntime, WorkerMode};
 use dbcast_sim::Simulation;
 use dbcast_workload::{SizeDistribution, TraceBuilder, WorkloadBuilder};
@@ -320,6 +321,48 @@ pub fn standard_suite() -> Vec<Benchmark> {
         black_box(audit_tracer.sampled());
     }));
 
+    // The framed broadcast transport end to end: a loopback server, a
+    // scripted single-generation egress and 16 concurrent
+    // record-then-measure clients, all over real TCP sockets. Every
+    // iteration pays the full lifecycle — bind, connect, frame
+    // encode/decode, analytical measurement, report fold — on a small
+    // pinned program, so this is the wall-time contract for `dbcast
+    // fleet` itself. Virtual-time framing keeps the work seed-exact
+    // across machines.
+    let fleet_db = WorkloadBuilder::new(24)
+        .skewness(0.8)
+        .sizes(SizeDistribution::Diversity { phi_max: 1.0 })
+        .seed(42)
+        .build()
+        .expect("pinned workload parameters are valid");
+    let fleet_alloc = DrpCds::new().allocate(&fleet_db, 2).expect("feasible");
+    let fleet_program =
+        BroadcastProgram::new(&fleet_db, &fleet_alloc, 10.0).expect("consistent program");
+    let fleet_stage = SourceGeneration {
+        generation: 0,
+        program: fleet_program,
+        frequencies: fleet_db.iter().map(|d| d.frequency()).collect(),
+    };
+    suite.push(Benchmark::new("fleet_e2e", move || {
+        let source = ScriptedSource::new(vec![(0, fleet_stage.clone())]);
+        let egress = EgressConfig { index: None, max_windows: Some(24), pace: None };
+        let config = FleetConfig {
+            clients: 16,
+            seed: 42,
+            requests: 12,
+            rate: 2.0,
+            ..FleetConfig::default()
+        };
+        let (report, egress_report) =
+            dbcast_net::run_fleet_inline(&source, &egress, NetConfig::default(), &config)
+                .expect("loopback fleet runs");
+        assert_eq!(
+            report.totals.torn_frames, 0,
+            "fleet benchmark must measure a clean stream"
+        );
+        black_box((report, egress_report));
+    }));
+
     suite
 }
 
@@ -346,7 +389,8 @@ mod tests {
                 "serve_loop",
                 "serve_swap",
                 "scope_sampler",
-                "audit_sampler"
+                "audit_sampler",
+                "fleet_e2e"
             ]
         );
     }

@@ -27,6 +27,9 @@
 //! * [`serve`] — the online serving runtime: live workload estimation
 //!   (count-min + EWMA), drift detection, background re-allocation and
 //!   hot program swap at cycle boundaries.
+//! * [`net`] — the framed TCP broadcast transport and simulated client
+//!   fleet: real frames on a real wire, with per-request access *and*
+//!   tuning time measured against the Eq. 2 expectations.
 //!
 //! # Quickstart
 //!
@@ -65,6 +68,7 @@ pub use dbcast_disks as disks;
 pub use dbcast_hetero as hetero;
 pub use dbcast_index as index;
 pub use dbcast_model as model;
+pub use dbcast_net as net;
 pub use dbcast_query as query;
 pub use dbcast_replication as replication;
 pub use dbcast_serve as serve;

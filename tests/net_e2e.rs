@@ -1,0 +1,234 @@
+//! End-to-end transport test: a seeded program streamed over real TCP
+//! through a mid-run hot swap, measured by a fleet of concurrent
+//! clients.
+//!
+//! Acceptance criteria pinned here:
+//! * ≥ 8 clients complete **all** their requests with zero dropped and
+//!   zero torn frames;
+//! * per client, per generation, measured mean access time is within
+//!   10% of the Eq. 2 expectation for that generation's program;
+//! * with (1,m) index frames on the air, tuning time is strictly below
+//!   the full-listening time;
+//! * the same seed produces a bit-identical fleet report.
+
+use dbcast::alloc::DrpCds;
+use dbcast::model::{BroadcastProgram, ChannelAllocator, Database};
+use dbcast::net::{
+    run_fleet_inline, CacheKind, EgressConfig, FleetConfig, IndexParams, NetConfig,
+    OverflowPolicy, ScriptedSource, SourceGeneration, WorkloadPattern,
+};
+use dbcast::workload::{SizeDistribution, WorkloadBuilder};
+
+const BANDWIDTH: f64 = 1.0;
+
+fn seeded_db() -> Database {
+    WorkloadBuilder::new(24)
+        .skewness(0.8)
+        .sizes(SizeDistribution::Diversity { phi_max: 1.0 })
+        .seed(11)
+        .build()
+        .expect("workload builds")
+}
+
+/// Two generations over the same database: the swap changes the channel
+/// count (3 → 4), so every channel's cycle — and Eq. 2 — changes.
+fn scripted_stages(db: &Database, swap_at_window: u64) -> Vec<(u64, SourceGeneration)> {
+    let frequencies: Vec<f64> = db.iter().map(|d| d.frequency()).collect();
+    let mut stages = Vec::new();
+    for (generation, channels) in [(0u64, 3usize), (1, 4)] {
+        let alloc = DrpCds::new().allocate(db, channels).expect("allocates");
+        let program = BroadcastProgram::new(db, &alloc, BANDWIDTH).expect("program builds");
+        stages.push((
+            if generation == 0 { 0 } else { swap_at_window },
+            SourceGeneration { generation, program, frequencies: frequencies.clone() },
+        ));
+    }
+    stages
+}
+
+fn fleet_config() -> FleetConfig {
+    FleetConfig {
+        clients: 8,
+        seed: 2024,
+        requests: 220,
+        rate: 1.0,
+        cache: CacheKind::None,
+        cache_budget: 0.0,
+        pattern: WorkloadPattern::Single,
+        patterns: 8,
+        max_size: 4,
+    }
+}
+
+/// Per-generation cycle-time extremes of the scripted scenario:
+/// `(gen0 window, min window, max cycle)` in virtual seconds. The
+/// egress window is one cycle of the fastest non-empty channel.
+fn cycle_bounds(db: &Database) -> (f64, f64, f64) {
+    let stages = scripted_stages(db, 1);
+    let mut gen0_window = f64::INFINITY;
+    let mut min_window = f64::INFINITY;
+    let mut max_cycle = 0.0f64;
+    for (i, (_, stage)) in stages.iter().enumerate() {
+        for schedule in stage.program.channels() {
+            if schedule.is_empty() {
+                continue;
+            }
+            let cycle = schedule.cycle_size() / BANDWIDTH;
+            if i == 0 {
+                gen0_window = gen0_window.min(cycle);
+            }
+            min_window = min_window.min(cycle);
+            max_cycle = max_cycle.max(cycle);
+        }
+    }
+    (gen0_window, min_window, max_cycle)
+}
+
+/// Swap mid-arrival-span (so both generations serve plenty of
+/// requests) and budget enough windows that the last request plus a
+/// full slow cycle always fits before the horizon.
+fn swap_and_windows(db: &Database, config: &FleetConfig) -> (u64, u64) {
+    let (gen0_window, min_window, max_cycle) = cycle_bounds(db);
+    let arrival_span = config.requests as f64 / config.rate;
+    let swap_at = ((arrival_span * 0.45) / gen0_window).ceil().max(1.0) as u64;
+    let horizon_needed = arrival_span * 1.6 + 4.0 * max_cycle;
+    let max_windows = swap_at + (horizon_needed / min_window).ceil() as u64 + 4;
+    (swap_at, max_windows)
+}
+
+fn net_config() -> NetConfig {
+    NetConfig {
+        queue_capacity: 1 << 15,
+        // The e2e contract is *zero* dropped frames: block rather than
+        // shed if a client thread is briefly scheduled out.
+        overflow: OverflowPolicy::Block,
+        write_timeout: Some(std::time::Duration::from_secs(30)),
+    }
+}
+
+#[test]
+fn fleet_measures_eq2_across_a_hot_swap() {
+    let db = seeded_db();
+    let config = fleet_config();
+    let (swap_at, max_windows) = swap_and_windows(&db, &config);
+    let source = ScriptedSource::new(scripted_stages(&db, swap_at));
+    let egress = EgressConfig { index: None, max_windows: Some(max_windows), pace: None };
+    let (report, egress_report) =
+        run_fleet_inline(&source, &egress, net_config(), &config).expect("fleet runs");
+
+    report.validate().expect("report validates");
+    assert_eq!(egress_report.generations, 2, "both generations aired");
+    assert_eq!(report.totals.dropped_frames, Some(0), "zero dropped frames");
+    assert_eq!(report.totals.torn_frames, 0, "zero torn frames");
+    assert_eq!(report.clients.len(), 8);
+
+    for client in &report.clients {
+        assert_eq!(
+            client.completed, client.requests,
+            "client {} completed all requests",
+            client.id
+        );
+        assert_eq!(
+            client.generations.len(),
+            2,
+            "client {} saw the swap on the wire",
+            client.id
+        );
+        for slice in &client.generations {
+            assert!(
+                slice.requests >= 20,
+                "client {} generation {} has too few clean samples ({})",
+                client.id,
+                slice.generation,
+                slice.requests
+            );
+            let relative =
+                (slice.mean_access - slice.predicted_access).abs() / slice.predicted_access;
+            assert!(
+                relative <= 0.10,
+                "client {} generation {}: measured {:.4} vs Eq.2 {:.4} ({:.1}% off)",
+                client.id,
+                slice.generation,
+                slice.mean_access,
+                slice.predicted_access,
+                relative * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn indexed_stream_tunes_below_full_listening() {
+    let db = seeded_db();
+    let config = fleet_config();
+    let (swap_at, max_windows) = swap_and_windows(&db, &config);
+    let source = ScriptedSource::new(scripted_stages(&db, swap_at));
+    let egress = EgressConfig {
+        index: Some(IndexParams { index_size: 0.5, header_size: 0.05 }),
+        max_windows: Some(max_windows),
+        pace: None,
+    };
+    let (report, _) =
+        run_fleet_inline(&source, &egress, net_config(), &config).expect("fleet runs");
+    report.validate().expect("report validates");
+    assert!(report.indexed);
+    assert_eq!(report.totals.torn_frames, 0);
+    for client in &report.clients {
+        assert_eq!(client.completed, client.requests);
+        assert!(
+            client.tuning.mean < client.access.mean,
+            "client {}: tuning {:.4} must be strictly below access {:.4}",
+            client.id,
+            client.tuning.mean,
+            client.access.mean
+        );
+        // Selective tuning is a big win, not a rounding artifact.
+        assert!(client.tuning.mean < 0.8 * client.access.mean);
+    }
+}
+
+#[test]
+fn same_seed_produces_bit_identical_reports() {
+    let db = seeded_db();
+    let config = fleet_config();
+    let (swap_at, max_windows) = swap_and_windows(&db, &config);
+    let egress = EgressConfig { index: None, max_windows: Some(max_windows), pace: None };
+    let run = || {
+        let source = ScriptedSource::new(scripted_stages(&db, swap_at));
+        let (report, _) =
+            run_fleet_inline(&source, &egress, net_config(), &config).expect("fleet runs");
+        serde_json::to_string(&report).expect("report serializes")
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "same seed must give a bit-identical report");
+}
+
+#[test]
+fn frequent_pattern_fleet_exercises_cache_and_conflicts() {
+    let db = seeded_db();
+    let mut config = fleet_config();
+    config.pattern = WorkloadPattern::Frequent;
+    config.patterns = 6;
+    config.max_size = 4;
+    config.cache = CacheKind::Lru;
+    config.cache_budget = 6.0;
+    config.requests = 120;
+    let (swap_at, max_windows) = swap_and_windows(&db, &config);
+    let source = ScriptedSource::new(scripted_stages(&db, swap_at));
+    let egress = EgressConfig { index: None, max_windows: Some(max_windows), pace: None };
+    let (report, _) =
+        run_fleet_inline(&source, &egress, net_config(), &config).expect("fleet runs");
+    report.validate().expect("report validates");
+    assert!(
+        report.totals.cache_hits > 0,
+        "correlated patterns through an LRU cache must hit"
+    );
+    assert!(
+        report.totals.conflicts > 0,
+        "multi-item requests over one tuner must see conflicts"
+    );
+    for client in &report.clients {
+        assert_eq!(client.completed, client.requests);
+    }
+}

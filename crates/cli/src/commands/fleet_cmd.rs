@@ -5,8 +5,9 @@
 use dbcast_alloc::DrpCds;
 use dbcast_model::{BroadcastProgram, ChannelAllocator, Database};
 use dbcast_net::{
-    run_fleet, run_fleet_inline, CacheKind, EgressConfig, FleetConfig, FleetReport,
-    IndexParams, NetConfig, ScriptedSource, SourceGeneration, WorkloadPattern,
+    run_fleet_inline_with, run_fleet_with, CacheKind, EgressConfig, FleetConfig,
+    FleetReport, IndexParams, NetConfig, ScriptedSource, SourceGeneration, UplinkConfig,
+    WorkloadPattern,
 };
 
 use crate::args::Args;
@@ -20,6 +21,10 @@ use crate::commands::CliError;
 /// built from `--items/--theta/--phi/--seed/--channels/--bandwidth`
 /// (optionally hot-swapping to `--swap-channels` at window `--swap-at`,
 /// and carrying (1,m) index frames with `--fleet-index SIZE`).
+/// With `--uplink ADDR` every client also pushes telemetry digests —
+/// live generation acks and per-generation measurement slices — to a
+/// `dbcast serve --listen-uplink` aggregator; `--straggle-ms MS` paces
+/// client 0's acks to drill the straggler detection.
 ///
 /// The action `check` validates a saved report (`--input FILE`) and
 /// exits non-zero when any invariant fails — the CI smoke contract.
@@ -126,15 +131,29 @@ pub(crate) fn parse_index_params(
     }
 }
 
+/// Parses the optional `--uplink ADDR` / `--straggle-ms MS` pair.
+fn parse_uplink(args: &Args) -> Result<Option<UplinkConfig>, CliError> {
+    let straggle_ms = args.opt_or("straggle-ms", 0u64)?;
+    match args.opt::<String>("uplink")? {
+        Some(addr) => Ok(Some(UplinkConfig { addr, straggle_ms })),
+        None if straggle_ms > 0 => Err(CliError::InvalidOption(
+            "--straggle-ms without --uplink has nothing to pace".into(),
+        )),
+        None => Ok(None),
+    }
+}
+
 fn run_run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
     let config = parse_config(args)?;
+    let uplink = parse_uplink(args)?;
     let (report, egress_note) = match args.opt::<String>("connect")? {
         Some(addr) => {
-            let report = run_fleet(addr.as_str(), &config).map_err(CliError::Fleet)?;
+            let report = run_fleet_with(addr.as_str(), &config, uplink.as_ref())
+                .map_err(CliError::Fleet)?;
             (report, None)
         }
         None => {
-            let (report, egress) = run_inline(args, &config)?;
+            let (report, egress) = run_inline(args, &config, uplink.as_ref())?;
             (report, Some(egress))
         }
     };
@@ -207,6 +226,7 @@ fn run_run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
 fn run_inline(
     args: &Args,
     config: &FleetConfig,
+    uplink: Option<&UplinkConfig>,
 ) -> Result<(FleetReport, dbcast_net::EgressReport), CliError> {
     let db = crate::commands::load_or_generate(args)?;
     let channels = args.opt_or("channels", 3usize)?;
@@ -230,7 +250,7 @@ fn run_inline(
     };
     let egress = EgressConfig { index, max_windows: Some(max_windows), pace: None };
     let source = ScriptedSource::new(stages);
-    run_fleet_inline(&source, &egress, NetConfig::default(), config)
+    run_fleet_inline_with(&source, &egress, NetConfig::default(), config, uplink)
         .map_err(CliError::Fleet)
 }
 

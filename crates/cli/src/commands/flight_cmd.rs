@@ -11,6 +11,9 @@
 //!   validator; `--metrics scrape.txt` additionally parses an
 //!   OpenMetrics scrape and counts its exemplar annotations
 //!   (`--min-exemplars N` makes fewer than N a hard failure),
+//! * `dbcast flight check-fleet --input fleet.json` — validate a
+//!   `/fleet` fleet-aggregate document with the strict schema-v1
+//!   validator,
 //! * `dbcast flight catalog` — print the metrics catalogue as the
 //!   markdown committed at `docs/METRICS.md`.
 
@@ -33,13 +36,14 @@ pub fn run_flight(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliE
         Some("check-metrics") => run_check_metrics(args, out),
         Some("check-series") => run_check_series(args, out),
         Some("check-exemplars") => run_check_exemplars(args, out),
+        Some("check-fleet") => run_check_fleet(args, out),
         Some("catalog") => {
             write!(out, "{}", dbcast_obs::catalog::markdown())?;
             Ok(())
         }
         other => Err(CliError::InvalidOption(format!(
             "flight action {:?}; expected dump, check-metrics, check-series, \
-             check-exemplars or catalog",
+             check-exemplars, check-fleet or catalog",
             other.unwrap_or("<none>")
         ))),
     }
@@ -177,6 +181,36 @@ fn run_check_exemplars(args: &Args, out: &mut impl std::io::Write) -> Result<(),
     Ok(())
 }
 
+fn run_check_fleet(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
+    let input = args.require::<String>("input")?;
+    let body = std::fs::read_to_string(&input)?;
+    let doc = dbcast_serve::validate_fleet(&body)
+        .map_err(|e| CliError::InvalidOption(format!("{input}: {e}")))?;
+    writeln!(
+        out,
+        "{input}: valid /fleet document — schema {}, published generation {}, \
+         {} client(s) ({} straggling), {} digest(s), {} generation(s)",
+        doc.schema,
+        doc.published,
+        doc.clients,
+        doc.stragglers,
+        doc.digests,
+        doc.generations.len(),
+    )?;
+    if let Some(max_gap) = args.opt::<f64>("max-gap")? {
+        for g in &doc.generations {
+            if g.samples > 0 && g.gap > max_gap {
+                return Err(CliError::InvalidOption(format!(
+                    "{input}: generation {} observed-vs-Eq.2 gap {:.4} exceeds \
+                     --max-gap {max_gap}",
+                    g.generation, g.gap
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn run_check_series(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
     let input = args.require::<String>("input")?;
     let body = std::fs::read_to_string(&input)?;
@@ -213,6 +247,38 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("# Metrics catalogue"));
         assert!(text.contains("`serve.slo.burn_rate`"));
+    }
+
+    #[test]
+    fn check_fleet_accepts_an_aggregator_document() {
+        let dir = temp_dir("check_fleet_ok");
+        let aggregator = dbcast_serve::FleetAggregator::new();
+        aggregator.set_published(2);
+        aggregator.ingest(&dbcast_serve::FleetDigest::ack(0, 0, 2));
+        aggregator.ingest(&dbcast_serve::FleetDigest::ack(1, 0, 1));
+        let path = dir.join("fleet.json");
+        std::fs::write(&path, aggregator.fleet_json()).unwrap();
+
+        let args =
+            Args::parse(["flight", "check-fleet", "--input", path.to_str().unwrap()])
+                .unwrap();
+        let mut out = Vec::new();
+        run_flight(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("valid /fleet document"), "got: {text}");
+        assert!(text.contains("2 client(s) (1 straggling)"), "got: {text}");
+    }
+
+    #[test]
+    fn check_fleet_rejects_a_malformed_document() {
+        let dir = temp_dir("check_fleet_bad");
+        let path = dir.join("fleet.json");
+        std::fs::write(&path, "{\"schema\": 99}").unwrap();
+        let args =
+            Args::parse(["flight", "check-fleet", "--input", path.to_str().unwrap()])
+                .unwrap();
+        let mut out = Vec::new();
+        assert!(matches!(run_flight(&args, &mut out), Err(CliError::InvalidOption(_))));
     }
 
     #[test]

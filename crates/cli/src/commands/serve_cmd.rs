@@ -60,7 +60,12 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
     let listen = args.opt::<String>("listen")?;
     let postmortem_dir = args.opt::<String>("postmortem-dir")?;
     let watch = args.opt::<String>("watch")?;
-    if listen.is_some() || postmortem_dir.is_some() || watch.is_some() {
+    let listen_uplink = args.opt::<String>("listen-uplink")?;
+    if listen.is_some()
+        || postmortem_dir.is_some()
+        || watch.is_some()
+        || listen_uplink.is_some()
+    {
         dbcast_obs::set_enabled(true);
         if !dbcast_obs::enabled() {
             return Err(CliError::FeatureRequired {
@@ -68,8 +73,10 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
                     "--listen"
                 } else if postmortem_dir.is_some() {
                     "--postmortem-dir"
-                } else {
+                } else if watch.is_some() {
                     "--watch"
+                } else {
+                    "--listen-uplink"
                 },
                 feature: "obs",
             });
@@ -220,6 +227,25 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
         }
     };
 
+    // Telemetry uplink: fleet clients push generation acks and
+    // per-generation measurement slices here; the aggregator follows
+    // the runtime's epoch cell so stragglers are judged against the
+    // generation actually being broadcast.
+    let uplink = match &listen_uplink {
+        None => None,
+        Some(addr) => {
+            let aggregator = std::sync::Arc::new(dbcast_serve::FleetAggregator::following(
+                runtime.cell(),
+            ));
+            let server = dbcast_net::UplinkServer::bind(
+                addr.as_str(),
+                std::sync::Arc::clone(&aggregator) as _,
+            )?;
+            writeln!(out, "telemetry uplink on tcp://{}", server.addr())?;
+            Some((server, aggregator))
+        }
+    };
+
     let exposition = match &listen {
         None => None,
         Some(addr) => {
@@ -244,6 +270,12 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
             routes.push(dbcast_flight::Route::json("/exemplars", move || {
                 audit_route.render_json()
             }));
+            if let Some((_, aggregator)) = &uplink {
+                let fleet_route = std::sync::Arc::clone(aggregator);
+                routes.push(dbcast_flight::Route::json("/fleet", move || {
+                    fleet_route.fleet_json()
+                }));
+            }
             let server = dbcast_flight::ExpositionServer::bind_with_routes(
                 addr.as_str(),
                 status,
@@ -251,7 +283,8 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
             )?;
             writeln!(
                 out,
-                "exposing /metrics, /flight, /status, /series and /exemplars on http://{}",
+                "exposing /metrics, /flight, /status, /series{} and /exemplars on http://{}",
+                if uplink.is_some() { ", /fleet" } else { "" },
                 server.addr()
             )?;
             Some(server)
@@ -279,6 +312,28 @@ pub fn run_serve(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliEr
             )?,
             Err(e) => writeln!(out, "broadcast egress failed: {e}")?,
         }
+        server.shutdown();
+    }
+    // Fleet clients finish measuring only after the End frame, so give
+    // their slice digests (and any external /fleet scrape) a window
+    // before the uplink and exposition sockets go away.
+    if uplink.is_some() {
+        let linger_ms = args.opt_or("uplink-linger-ms", 0u64)?;
+        if linger_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(linger_ms));
+        }
+    }
+    if let Some((server, aggregator)) = &uplink {
+        let doc = aggregator.doc();
+        writeln!(
+            out,
+            "telemetry uplink: {} digest(s) from {} client(s), {} straggling, \
+             {} decode error(s)",
+            doc.digests,
+            doc.clients,
+            doc.stragglers,
+            server.decode_errors()
+        )?;
         server.shutdown();
     }
     if let Some(mut server) = exposition {

@@ -97,7 +97,23 @@ impl AirLog {
     ///
     /// Returns a message when a directory payload does not parse or no
     /// directory ever arrived.
-    pub fn record(mut stream: impl Read) -> Result<AirLog, String> {
+    pub fn record(stream: impl Read) -> Result<AirLog, String> {
+        Self::record_with(stream, |_| {})
+    }
+
+    /// Like [`AirLog::record`], invoking `on_directory` with every
+    /// directory the moment it is parsed off the wire — the hook the
+    /// telemetry uplink uses to push live generation acknowledgements
+    /// while the downlink is still streaming.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a directory payload does not parse or no
+    /// directory ever arrived.
+    pub fn record_with(
+        mut stream: impl Read,
+        mut on_directory: impl FnMut(&Directory),
+    ) -> Result<AirLog, String> {
         let decode_errors_metric = dbcast_obs::registry().counter("net.decode_errors");
         let mut log = AirLog::default();
         let mut decoder = FrameDecoder::new();
@@ -116,6 +132,7 @@ impl AirLog {
                     Ok(Some(Frame::Directory(json))) => {
                         let dir: Directory = serde_json::from_slice(&json)
                             .map_err(|e| format!("bad directory payload: {e}"))?;
+                        on_directory(&dir);
                         let origin = dir.origin;
                         if let Some(prev) = log.worlds.last_mut() {
                             prev.valid_until = origin;
@@ -124,6 +141,9 @@ impl AirLog {
                     }
                     Ok(Some(Frame::Data(d))) => log.frames.push(d),
                     Ok(Some(Frame::Index(ix))) => log.index_frames.push(ix),
+                    // Telemetry travels the uplink; a downlink subscriber
+                    // that sees one simply ignores it.
+                    Ok(Some(Frame::Telemetry(_))) => {}
                     Ok(Some(Frame::End { horizon })) => {
                         log.horizon = horizon;
                         done = true;

@@ -327,6 +327,8 @@ fn frame_order_key(frame: &Frame) -> (f64, u32) {
         Frame::Index(ix) => (ix.start, ix.channel),
         Frame::Directory(_) => (f64::NEG_INFINITY, 0),
         Frame::End { horizon } => (*horizon, u32::MAX),
+        // Telemetry never travels the downlink; sort it last if it did.
+        Frame::Telemetry(_) => (f64::INFINITY, u32::MAX),
     }
 }
 

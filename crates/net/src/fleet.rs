@@ -19,8 +19,22 @@ use crate::client::{
     WorkloadPattern,
 };
 use crate::egress::{run_egress, EgressConfig, EgressReport, ProgramSource};
+use crate::frame::{TelemetryFrame, TELEMETRY_FLAG_SLICE};
 use crate::server::{BroadcastServer, NetConfig};
+use crate::uplink::UplinkClient;
 use crate::world::WorldView;
+
+/// Where (and how) a fleet pushes its telemetry digests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UplinkConfig {
+    /// Uplink server address, e.g. `127.0.0.1:9902`.
+    pub addr: String,
+    /// Milliseconds client 0 sleeps before sending each generation
+    /// acknowledgement — the straggler drill: a paced-slow client whose
+    /// acked generation trails the published one must trip the
+    /// `fleet.stragglers` gauge.
+    pub straggle_ms: u64,
+}
 
 /// Report schema version; bump on any incompatible layout change.
 pub const FLEET_SCHEMA: u32 = 1;
@@ -451,13 +465,143 @@ fn summarize(
     }
 }
 
-/// Runs one client end to end over an established TCP stream.
-fn run_client(config: ClientConfig, stream: TcpStream) -> Result<ClientReport, String> {
-    let log = AirLog::record(stream)?;
+/// Builds the per-generation telemetry slice digests one client sends
+/// after measuring: the exact [`GenerationSlice`] values (bit-exact, so
+/// the serve-side aggregates reconcile with the post-hoc report), plus
+/// delta counters attributed to the generation on the air at each
+/// request's arrival (a total-preserving attribution: every outcome
+/// lands in exactly one slice), microsecond log2 histogram cells of the
+/// completed outcomes, and the recorded per-channel frame coverage.
+fn build_slices(
+    config: &ClientConfig,
+    log: &AirLog,
+    outcomes: &[RequestOutcome],
+    report: &ClientReport,
+) -> Vec<TelemetryFrame> {
+    let last_generation =
+        log.worlds.last().map(|w| w.directory.generation).unwrap_or_default();
+    let spans: Vec<(f64, f64)> = log
+        .worlds
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let end = log
+                .worlds
+                .get(i + 1)
+                .map(|next| next.directory.origin)
+                .unwrap_or(f64::INFINITY);
+            (w.directory.origin, end)
+        })
+        .collect();
+    log.worlds
+        .iter()
+        .zip(&report.generations)
+        .zip(&spans)
+        .map(|((world, slice), &(start, end))| {
+            let mut t = TelemetryFrame::empty();
+            t.client = config.id as u32;
+            t.flags = TELEMETRY_FLAG_SLICE;
+            t.last_generation = last_generation;
+            t.generation = slice.generation;
+            t.origin = slice.origin;
+            t.samples = slice.requests;
+            t.mean_access = slice.mean_access;
+            t.mean_tuning = slice.mean_tuning;
+            t.predicted_access = slice.predicted_access;
+            for o in outcomes {
+                // Same arrival-epsilon as `AirLog::world_at`, so the
+                // attribution agrees with the measurement loop.
+                if o.arrival + 1e-12 < start || o.arrival + 1e-12 >= end {
+                    continue;
+                }
+                t.requests += 1;
+                t.cache_hits += o.cache_hits;
+                t.conflicts += o.conflicts;
+                t.retunes += o.retunes;
+                t.torn += o.torn;
+                if !o.incomplete {
+                    t.completed += 1;
+                    t.access.record((o.access * 1e6) as u64);
+                    t.tuning.record((o.tuning * 1e6) as u64);
+                }
+            }
+            let generation = world.directory.generation;
+            let mut coverage: std::collections::BTreeMap<u32, u64> =
+                std::collections::BTreeMap::new();
+            for (g, channel) in log
+                .frames
+                .iter()
+                .map(|f| (f.generation, f.channel))
+                .chain(log.index_frames.iter().map(|f| (f.generation, f.channel)))
+            {
+                if g == generation {
+                    *coverage.entry(channel).or_insert(0) += 1;
+                }
+            }
+            t.coverage = coverage.into_iter().collect();
+            t
+        })
+        .collect()
+}
+
+/// Runs one client end to end over an established TCP stream,
+/// optionally pushing telemetry over `uplink`: a live acknowledgement
+/// per directory while recording, then one measurement slice per
+/// generation.
+fn run_client_with(
+    config: ClientConfig,
+    stream: TcpStream,
+    uplink: Option<(SocketAddr, Duration)>,
+) -> Result<ClientReport, String> {
+    let id = config.id as u32;
+    let mut up = match uplink {
+        Some((addr, straggle)) => {
+            let client = UplinkClient::connect(addr)
+                .map_err(|e| format!("client {id} uplink connect failed: {e}"))?;
+            Some((client, straggle))
+        }
+        None => None,
+    };
+    let log = match &mut up {
+        Some((client, straggle)) => AirLog::record_with(stream, |dir| {
+            if !straggle.is_zero() {
+                std::thread::sleep(*straggle);
+            }
+            let _ = client.send_ack(id, dir.generation);
+        })?,
+        None => AirLog::record(stream)?,
+    };
     let first = &log.worlds[0].directory;
     let requests = generate_requests(&config, first, log.coverage_start());
     let outcomes = measure(&config, &log, &requests)?;
-    Ok(summarize(&config, &log, &outcomes))
+    let report = summarize(&config, &log, &outcomes);
+    if let Some((client, _)) = &mut up {
+        for mut frame in build_slices(&config, &log, &outcomes, &report) {
+            client
+                .send(&mut frame)
+                .map_err(|e| format!("client {id} uplink send failed: {e}"))?;
+        }
+    }
+    Ok(report)
+}
+
+/// Resolves the uplink target and the per-client straggle pacing.
+fn resolve_uplink(
+    uplink: Option<&UplinkConfig>,
+    id: usize,
+) -> Result<Option<(SocketAddr, Duration)>, String> {
+    let Some(config) = uplink else {
+        return Ok(None);
+    };
+    let addr: SocketAddr = config
+        .addr
+        .to_socket_addrs()
+        .map_err(|e| format!("bad uplink address: {e}"))?
+        .next()
+        .ok_or("uplink address resolved to nothing")?;
+    let straggle =
+        if id == 0 { Duration::from_millis(config.straggle_ms) } else { Duration::ZERO };
+    Ok(Some((addr, straggle)))
 }
 
 fn fold_report(
@@ -491,6 +635,21 @@ pub fn run_fleet(
     addr: impl ToSocketAddrs,
     config: &FleetConfig,
 ) -> Result<FleetReport, String> {
+    run_fleet_with(addr, config, None)
+}
+
+/// [`run_fleet`] with an optional telemetry uplink: every client pushes
+/// live generation acks and post-measurement slices to
+/// `uplink.addr` (see [`UplinkConfig`]).
+///
+/// # Errors
+///
+/// Propagates connection failures and client pipeline errors.
+pub fn run_fleet_with(
+    addr: impl ToSocketAddrs,
+    config: &FleetConfig,
+    uplink: Option<&UplinkConfig>,
+) -> Result<FleetReport, String> {
     let addr: SocketAddr = addr
         .to_socket_addrs()
         .map_err(|e| format!("bad address: {e}"))?
@@ -499,12 +658,13 @@ pub fn run_fleet(
     let mut handles = Vec::with_capacity(config.clients);
     for id in 0..config.clients {
         let client = config.client(id);
+        let up = resolve_uplink(uplink, id)?;
         let stream = TcpStream::connect(addr)
             .map_err(|e| format!("client {id} connect failed: {e}"))?;
         handles.push(
             std::thread::Builder::new()
                 .name(format!("dbcast-fleet-{id}"))
-                .spawn(move || run_client(client, stream))
+                .spawn(move || run_client_with(client, stream, up))
                 .map_err(|e| format!("spawn failed: {e}"))?,
         );
     }
@@ -535,18 +695,36 @@ pub fn run_fleet_inline(
     net: NetConfig,
     config: &FleetConfig,
 ) -> Result<(FleetReport, EgressReport), String> {
+    run_fleet_inline_with(source, egress, net, config, None)
+}
+
+/// [`run_fleet_inline`] with an optional telemetry uplink (see
+/// [`UplinkConfig`]); an [`crate::uplink::UplinkServer`] must already
+/// be listening at `uplink.addr`.
+///
+/// # Errors
+///
+/// Propagates bind, egress, and client pipeline errors.
+pub fn run_fleet_inline_with(
+    source: &dyn ProgramSource,
+    egress: &EgressConfig,
+    net: NetConfig,
+    config: &FleetConfig,
+    uplink: Option<&UplinkConfig>,
+) -> Result<(FleetReport, EgressReport), String> {
     let server = BroadcastServer::bind("127.0.0.1:0", net)
         .map_err(|e| format!("bind failed: {e}"))?;
     let addr = server.addr();
     let mut handles = Vec::with_capacity(config.clients);
     for id in 0..config.clients {
         let client = config.client(id);
+        let up = resolve_uplink(uplink, id)?;
         let stream = TcpStream::connect(addr)
             .map_err(|e| format!("client {id} connect failed: {e}"))?;
         handles.push(
             std::thread::Builder::new()
                 .name(format!("dbcast-fleet-{id}"))
-                .spawn(move || run_client(client, stream))
+                .spawn(move || run_client_with(client, stream, up))
                 .map_err(|e| format!("spawn failed: {e}"))?,
         );
     }

@@ -22,6 +22,8 @@
 
 use std::fmt;
 
+use dbcast_obs::metrics::{HistogramCells, BUCKETS};
+
 /// First four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"DBN1";
 
@@ -43,9 +45,16 @@ const TYPE_DATA: u8 = 1;
 const TYPE_INDEX: u8 = 2;
 const TYPE_DIRECTORY: u8 = 3;
 const TYPE_END: u8 = 4;
+const TYPE_TELEMETRY: u8 = 5;
 
 /// Fixed payload size of a data frame.
 const DATA_PAYLOAD_LEN: usize = 32;
+
+/// [`TelemetryFrame::flags`] bit: the digest carries a finished
+/// per-generation measurement slice (means, Eq. 2 prediction,
+/// histogram deltas). Unset means a lightweight live **ack**: the
+/// client has tuned to `generation` and reports nothing else yet.
+pub const TELEMETRY_FLAG_SLICE: u32 = 1;
 
 /// One item occurrence on the air.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,6 +97,98 @@ pub struct IndexFrame {
     pub entries: Vec<IndexEntry>,
 }
 
+/// A compact, generation-stamped client digest pushed **up** the TCP
+/// uplink — the only frame type that travels client → server. Counter
+/// fields are per-generation deltas, never cumulative, so digests from
+/// any number of clients fold into exact fleet rollups by addition
+/// (the [`HistogramCells`] merge algebra).
+///
+/// On the wire the histogram cells travel sparse (`(bucket, count)`
+/// pairs in strictly ascending bucket order — the canonical encoding)
+/// and `count` is derived from the bucket deltas on decode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryFrame {
+    /// Fleet-assigned client id.
+    pub client: u32,
+    /// Per-client digest sequence number (gaps mean uplink loss).
+    pub seq: u32,
+    /// Digest kind bits; see [`TELEMETRY_FLAG_SLICE`].
+    pub flags: u32,
+    /// Newest program generation the client has decoded a directory
+    /// for — the straggler signal.
+    pub last_generation: u64,
+    /// Generation this digest's measurements belong to.
+    pub generation: u64,
+    /// Virtual time the generation's directory took effect (bit-exact
+    /// copy of the directory's origin, so server-side reconciliation
+    /// can match slices to directories).
+    pub origin: f64,
+    /// Clean Eq. 2-comparable samples behind the slice means.
+    pub samples: u64,
+    /// Mean access time over the clean samples (virtual seconds).
+    pub mean_access: f64,
+    /// Mean tuning time over the clean samples (virtual seconds).
+    pub mean_tuning: f64,
+    /// Mean Eq. 2 expected access time for the same requests.
+    pub predicted_access: f64,
+    /// Requests attributed to the generation (delta).
+    pub requests: u64,
+    /// Requests fully satisfied (delta).
+    pub completed: u64,
+    /// Items answered from the client cache (delta).
+    pub cache_hits: u64,
+    /// Retrieval conflicts: wanted items airing while busy (delta).
+    pub conflicts: u64,
+    /// Downloads abandoned at a hot-swap boundary (delta).
+    pub retunes: u64,
+    /// Torn frames the recorded air could not corroborate (delta).
+    pub torn: u64,
+    /// Access-time log2 histogram deltas (virtual microseconds).
+    pub access: HistogramCells,
+    /// Tuning-time log2 histogram deltas (virtual microseconds).
+    pub tuning: HistogramCells,
+    /// Frames seen per channel, `(channel, frames)` ascending.
+    pub coverage: Vec<(u32, u64)>,
+}
+
+impl TelemetryFrame {
+    /// An all-zero digest (identity under fleet folding).
+    pub fn empty() -> Self {
+        TelemetryFrame {
+            client: 0,
+            seq: 0,
+            flags: 0,
+            last_generation: 0,
+            generation: 0,
+            origin: 0.0,
+            samples: 0,
+            mean_access: 0.0,
+            mean_tuning: 0.0,
+            predicted_access: 0.0,
+            requests: 0,
+            completed: 0,
+            cache_hits: 0,
+            conflicts: 0,
+            retunes: 0,
+            torn: 0,
+            access: HistogramCells::empty(),
+            tuning: HistogramCells::empty(),
+            coverage: Vec::new(),
+        }
+    }
+
+    /// Whether this digest carries a finished measurement slice.
+    pub fn is_slice(&self) -> bool {
+        self.flags & TELEMETRY_FLAG_SLICE != 0
+    }
+}
+
+impl Default for TelemetryFrame {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 /// A complete frame as seen on the wire.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -102,6 +203,10 @@ pub enum Frame {
         /// Virtual time up to which the stream is complete.
         horizon: f64,
     },
+    /// One client telemetry digest (uplink direction). Boxed: the
+    /// inline histogram cells would otherwise quintuple the size of
+    /// every `Frame` moved through the broadcast egress path.
+    Telemetry(Box<TelemetryFrame>),
 }
 
 /// Typed decoding failures. All are recoverable: after an error the
@@ -195,6 +300,49 @@ pub fn encode_data_frame_into(out: &mut Vec<u8>, frame: &DataFrame) {
     });
 }
 
+fn push_cells(buf: &mut Vec<u8>, cells: &HistogramCells) {
+    buf.extend_from_slice(&cells.sum.to_le_bytes());
+    buf.extend_from_slice(&cells.min.to_le_bytes());
+    buf.extend_from_slice(&cells.max.to_le_bytes());
+    let n = cells.buckets.iter().filter(|&&c| c > 0).count() as u32;
+    buf.extend_from_slice(&n.to_le_bytes());
+    for (i, &c) in cells.buckets.iter().enumerate() {
+        if c > 0 {
+            buf.push(i as u8);
+            buf.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+}
+
+/// Appends the wire encoding of a telemetry digest to `out` without
+/// clearing it. This is the steady-state uplink path; with a warm
+/// (pre-sized) buffer it performs **zero heap allocations** — pinned
+/// by a perf test, like the data-frame egress path.
+pub fn encode_telemetry_frame_into(out: &mut Vec<u8>, t: &TelemetryFrame) {
+    encode_envelope(out, TYPE_TELEMETRY, |buf| {
+        buf.extend_from_slice(&t.client.to_le_bytes());
+        buf.extend_from_slice(&t.seq.to_le_bytes());
+        buf.extend_from_slice(&t.flags.to_le_bytes());
+        buf.extend_from_slice(&t.last_generation.to_le_bytes());
+        buf.extend_from_slice(&t.generation.to_le_bytes());
+        push_f64(buf, t.origin);
+        buf.extend_from_slice(&t.samples.to_le_bytes());
+        push_f64(buf, t.mean_access);
+        push_f64(buf, t.mean_tuning);
+        push_f64(buf, t.predicted_access);
+        for v in [t.requests, t.completed, t.cache_hits, t.conflicts, t.retunes, t.torn] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        push_cells(buf, &t.access);
+        push_cells(buf, &t.tuning);
+        buf.extend_from_slice(&(t.coverage.len() as u32).to_le_bytes());
+        for &(channel, frames) in &t.coverage {
+            buf.extend_from_slice(&channel.to_le_bytes());
+            buf.extend_from_slice(&frames.to_le_bytes());
+        }
+    });
+}
+
 /// Appends the wire encoding of any frame to `out`.
 pub fn encode_frame_into(out: &mut Vec<u8>, frame: &Frame) {
     match frame {
@@ -217,6 +365,7 @@ pub fn encode_frame_into(out: &mut Vec<u8>, frame: &Frame) {
         Frame::End { horizon } => encode_envelope(out, TYPE_END, |buf| {
             push_f64(buf, *horizon);
         }),
+        Frame::Telemetry(t) => encode_telemetry_frame_into(out, t),
     }
 }
 
@@ -273,6 +422,115 @@ impl<'a> Cursor<'a> {
     fn done(&self) -> bool {
         self.pos == self.buf.len()
     }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Parses one sparse histogram-cells block into `cells`, reusing its
+/// (inline, heap-free) storage.
+fn parse_cells_into(
+    c: &mut Cursor<'_>,
+    cells: &mut HistogramCells,
+) -> Result<(), DecodeError> {
+    *cells = HistogramCells::empty();
+    let sum = c.u64()?;
+    let min = c.u64()?;
+    let max = c.u64()?;
+    let n = c.u32()? as usize;
+    if n > BUCKETS {
+        return Err(DecodeError::Payload("telemetry bucket count exceeds bucket space"));
+    }
+    if c.remaining() < n * 9 {
+        return Err(DecodeError::Payload("telemetry bucket count disagrees with length"));
+    }
+    let mut prev: i32 = -1;
+    for _ in 0..n {
+        let idx = c.take(1)?[0];
+        if usize::from(idx) >= BUCKETS || i32::from(idx) <= prev {
+            return Err(DecodeError::Payload("telemetry buckets out of order"));
+        }
+        let count = c.u64()?;
+        if count == 0 {
+            return Err(DecodeError::Payload("empty telemetry bucket on the wire"));
+        }
+        cells.buckets[usize::from(idx)] = count;
+        cells.count = cells.count.wrapping_add(count);
+        prev = i32::from(idx);
+    }
+    if cells.count == 0 {
+        if sum != 0 || min != u64::MAX || max != 0 {
+            return Err(DecodeError::Payload("non-canonical empty telemetry cells"));
+        }
+    } else if min > max {
+        return Err(DecodeError::Payload("telemetry cells min exceeds max"));
+    }
+    cells.sum = sum;
+    cells.min = min;
+    cells.max = max;
+    Ok(())
+}
+
+fn parse_telemetry_into(
+    c: &mut Cursor<'_>,
+    t: &mut TelemetryFrame,
+) -> Result<(), DecodeError> {
+    t.client = c.u32()?;
+    t.seq = c.u32()?;
+    t.flags = c.u32()?;
+    t.last_generation = c.u64()?;
+    t.generation = c.u64()?;
+    t.origin = c.finite_f64("non-finite telemetry origin")?;
+    t.samples = c.u64()?;
+    t.mean_access = c.finite_f64("non-finite telemetry mean access")?;
+    t.mean_tuning = c.finite_f64("non-finite telemetry mean tuning")?;
+    t.predicted_access = c.finite_f64("non-finite telemetry predicted access")?;
+    t.requests = c.u64()?;
+    t.completed = c.u64()?;
+    t.cache_hits = c.u64()?;
+    t.conflicts = c.u64()?;
+    t.retunes = c.u64()?;
+    t.torn = c.u64()?;
+    parse_cells_into(c, &mut t.access)?;
+    parse_cells_into(c, &mut t.tuning)?;
+    let n = c.u32()? as usize;
+    if c.remaining() != n * 12 {
+        return Err(DecodeError::Payload("telemetry coverage count disagrees with length"));
+    }
+    t.coverage.clear();
+    let mut prev: i64 = -1;
+    for _ in 0..n {
+        let channel = c.u32()?;
+        if i64::from(channel) <= prev {
+            return Err(DecodeError::Payload("telemetry coverage out of order"));
+        }
+        prev = i64::from(channel);
+        t.coverage.push((channel, c.u64()?));
+    }
+    Ok(())
+}
+
+/// Parses a telemetry payload into a caller-owned frame, reusing its
+/// coverage buffer. With warm capacity this is the **zero-allocation**
+/// steady-state uplink decode path (pinned by a perf test); the
+/// general [`FrameDecoder`] route allocates a fresh frame instead.
+///
+/// # Errors
+///
+/// Returns the same typed [`DecodeError::Payload`] failures the frame
+/// decoder reports for a malformed telemetry body.
+pub fn decode_telemetry_payload(
+    payload: &[u8],
+    t: &mut TelemetryFrame,
+) -> Result<(), DecodeError> {
+    let mut c = Cursor::new(payload);
+    parse_telemetry_into(&mut c, t)?;
+    if c.done() {
+        Ok(())
+    } else {
+        Err(DecodeError::Payload("trailing bytes after payload fields"))
+    }
 }
 
 fn parse_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, DecodeError> {
@@ -317,6 +575,11 @@ fn parse_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, DecodeError> {
                 return Err(DecodeError::Payload("end frame payload must be 8 bytes"));
             }
             Frame::End { horizon: c.finite_f64("non-finite stream horizon")? }
+        }
+        TYPE_TELEMETRY => {
+            let mut t = Box::new(TelemetryFrame::empty());
+            parse_telemetry_into(&mut c, &mut t)?;
+            Frame::Telemetry(t)
         }
         other => return Err(DecodeError::UnknownType(other)),
     };
@@ -392,7 +655,7 @@ impl FrameDecoder {
             return Err(DecodeError::Version(v));
         }
         let frame_type = head[5];
-        if !(TYPE_DATA..=TYPE_END).contains(&frame_type) {
+        if !(TYPE_DATA..=TYPE_TELEMETRY).contains(&frame_type) {
             self.resync();
             return Err(DecodeError::UnknownType(frame_type));
         }
@@ -429,9 +692,40 @@ impl FrameDecoder {
 mod tests {
     use super::*;
 
+    fn sample_telemetry() -> TelemetryFrame {
+        let mut access = HistogramCells::empty();
+        let mut tuning = HistogramCells::empty();
+        for v in [1_500_000u64, 2_250_000, 40] {
+            access.record(v);
+            tuning.record(v / 3);
+        }
+        TelemetryFrame {
+            client: 4,
+            seq: 9,
+            flags: TELEMETRY_FLAG_SLICE,
+            last_generation: 3,
+            generation: 2,
+            origin: 17.25,
+            samples: 3,
+            mean_access: 1.25,
+            mean_tuning: 0.41,
+            predicted_access: 1.19,
+            requests: 5,
+            completed: 5,
+            cache_hits: 1,
+            conflicts: 2,
+            retunes: 0,
+            torn: 0,
+            access,
+            tuning,
+            coverage: vec![(0, 120), (2, 87)],
+        }
+    }
+
     fn sample_frames() -> Vec<Frame> {
         vec![
             Frame::Directory(br#"{"generation":0}"#.to_vec()),
+            Frame::Telemetry(Box::new(sample_telemetry())),
             Frame::Data(DataFrame {
                 channel: 2,
                 item: 17,
@@ -495,6 +789,51 @@ mod tests {
         // The corrupted frame is lost; everything after is recovered.
         assert!(errs >= 1);
         assert!(ok >= frames.len() - 1, "recovered {ok} of {}", frames.len());
+    }
+
+    #[test]
+    fn telemetry_decode_into_reuses_buffers_and_matches_decoder() {
+        let t = sample_telemetry();
+        let mut wire = Vec::new();
+        encode_telemetry_frame_into(&mut wire, &t);
+        let payload = &wire[HEADER_LEN..wire.len() - TRAILER_LEN];
+        let mut reused = TelemetryFrame::empty();
+        reused.coverage.reserve(8);
+        decode_telemetry_payload(payload, &mut reused).expect("clean payload decodes");
+        assert_eq!(reused, t);
+        // An ack (empty cells, no coverage) round-trips too.
+        let mut ack = TelemetryFrame::empty();
+        ack.client = 7;
+        ack.last_generation = 5;
+        let mut wire = Vec::new();
+        encode_telemetry_frame_into(&mut wire, &ack);
+        let payload = &wire[HEADER_LEN..wire.len() - TRAILER_LEN];
+        decode_telemetry_payload(payload, &mut reused).expect("ack decodes");
+        assert_eq!(reused, ack);
+    }
+
+    #[test]
+    fn telemetry_rejects_malformed_cells() {
+        let t = sample_telemetry();
+        let mut wire = Vec::new();
+        encode_telemetry_frame_into(&mut wire, &t);
+        let payload = wire[HEADER_LEN..wire.len() - TRAILER_LEN].to_vec();
+        let mut out = TelemetryFrame::empty();
+        // Truncation anywhere inside the payload is a typed error.
+        for cut in 0..payload.len() {
+            assert!(
+                decode_telemetry_payload(&payload[..cut], &mut out).is_err(),
+                "truncated payload of {cut} bytes decoded"
+            );
+        }
+        // A non-canonical empty-cells block (sum without buckets) is
+        // rejected: 176-byte fixed head, then sum at the access block.
+        let mut ack = TelemetryFrame::empty();
+        ack.access.sum = 9;
+        let mut wire = Vec::new();
+        encode_telemetry_frame_into(&mut wire, &ack);
+        let payload = &wire[HEADER_LEN..wire.len() - TRAILER_LEN];
+        assert!(decode_telemetry_payload(payload, &mut out).is_err());
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!   `cache`, `query`, and `replication` crates over the recorded air.
 //! * [`fleet`] — N concurrent clients folded into a schema-versioned,
 //!   bit-reproducible [`FleetReport`].
+//! * [`uplink`] — the reverse path: clients push generation-stamped
+//!   telemetry digests over a second TCP connection, decoded with the
+//!   same envelope discipline and folded into the serve-side
+//!   [`FleetAggregator`](dbcast_serve::FleetAggregator) for live
+//!   fleet-wide Eq. 2 tracking.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +35,7 @@ pub mod egress;
 pub mod fleet;
 pub mod frame;
 pub mod server;
+pub mod uplink;
 pub mod world;
 
 pub use client::{
@@ -41,12 +47,16 @@ pub use egress::{
     SourceGeneration,
 };
 pub use fleet::{
-    predicted_access, run_fleet, run_fleet_inline, ClientReport, FleetConfig, FleetReport,
-    FleetTotals, GenerationSlice, StatSummary, FLEET_SCHEMA,
+    predicted_access, run_fleet, run_fleet_inline, run_fleet_inline_with, run_fleet_with,
+    ClientReport, FleetConfig, FleetReport, FleetTotals, GenerationSlice, StatSummary,
+    UplinkConfig, FLEET_SCHEMA,
 };
 pub use frame::{
-    encode_data_frame_into, encode_frame, encode_frame_into, DataFrame, DecodeError, Frame,
-    FrameDecoder, IndexEntry, IndexFrame, MAGIC, MAX_PAYLOAD, VERSION,
+    decode_telemetry_payload, encode_data_frame_into, encode_frame, encode_frame_into,
+    encode_telemetry_frame_into, DataFrame, DecodeError, Frame, FrameDecoder, IndexEntry,
+    IndexFrame, TelemetryFrame, HEADER_LEN, MAGIC, MAX_PAYLOAD, TELEMETRY_FLAG_SLICE,
+    TRAILER_LEN, VERSION,
 };
 pub use server::{BroadcastServer, NetConfig, OverflowPolicy};
+pub use uplink::{digest_from_frame, DigestSink, UplinkClient, UplinkServer};
 pub use world::{Directory, FetchPlan, IndexParams, WorldView};

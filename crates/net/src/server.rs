@@ -58,6 +58,8 @@ struct NetMetrics {
     bytes_sent: &'static Counter,
     dropped_frames: &'static Counter,
     subscribers: &'static Gauge,
+    queue_depth: &'static Gauge,
+    queue_peak: &'static Gauge,
 }
 
 impl NetMetrics {
@@ -68,6 +70,8 @@ impl NetMetrics {
             bytes_sent: r.counter("net.bytes_sent"),
             dropped_frames: r.counter("net.dropped_frames"),
             subscribers: r.gauge("net.subscribers"),
+            queue_depth: r.gauge("net.subscriber.queue_depth"),
+            queue_peak: r.gauge("net.subscriber.queue_peak"),
         }
     }
 }
@@ -155,6 +159,12 @@ impl BoundedQueue {
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
+
+    /// Frames currently buffered (a back-pressure signal, not a sync
+    /// point: the writer may be draining concurrently).
+    fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
 }
 
 /// One connected client: its queue and writer thread.
@@ -186,6 +196,7 @@ struct Shared {
     dropped: AtomicU64,
     frames_sent: AtomicU64,
     bytes_sent: AtomicU64,
+    queue_peak: AtomicU64,
 }
 
 /// A broadcast fan-out server on a TCP listener.
@@ -216,6 +227,7 @@ impl BroadcastServer {
             dropped: AtomicU64::new(0),
             frames_sent: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new().name("dbcast-bcast-accept".into()).spawn(
@@ -275,6 +287,12 @@ impl BroadcastServer {
     /// Bytes successfully written to sockets since startup.
     pub fn bytes_sent(&self) -> u64 {
         self.shared.bytes_sent.load(Ordering::SeqCst)
+    }
+
+    /// High-watermark of any subscriber's queue depth since startup —
+    /// how close the slow-client policy has come to engaging.
+    pub fn queue_peak(&self) -> u64 {
+        self.shared.queue_peak.load(Ordering::SeqCst)
     }
 
     /// Stops accepting, closes every subscriber queue (letting queued
@@ -374,6 +392,18 @@ fn broadcast_locked(shared: &Shared, roster: &mut Roster, blob: Arc<Vec<u8>>) {
             shared.metrics.dropped_frames.inc();
         }
     }
+    // Back-pressure gauges: the deepest live queue right now, and its
+    // high-watermark — visible *before* the drop counter starts moving.
+    let depth = roster
+        .subscribers
+        .iter()
+        .filter(|s| !s.dead.load(Ordering::SeqCst))
+        .map(|s| s.queue.len())
+        .max()
+        .unwrap_or(0) as u64;
+    let peak = shared.queue_peak.fetch_max(depth, Ordering::SeqCst).max(depth);
+    shared.metrics.queue_depth.set(depth as f64);
+    shared.metrics.queue_peak.set(peak as f64);
     if pruned {
         roster.subscribers.retain_mut(|sub| {
             if !sub.dead.load(Ordering::SeqCst) {
@@ -442,6 +472,11 @@ mod tests {
             "broadcast loop was back-pressured by a stalled client"
         );
         assert!(server.dropped_frames() > 0, "overflowing a 4-slot queue must count drops");
+        assert!(
+            server.queue_peak() >= 4,
+            "the queue-depth high-watermark must reach the 4-slot capacity, saw {}",
+            server.queue_peak()
+        );
         drop(stalled);
         server.shutdown();
     }

@@ -4,14 +4,43 @@
 
 use dbcast_net::{
     encode_frame_into, DataFrame, Frame, FrameDecoder, IndexEntry, IndexFrame,
+    TelemetryFrame, TELEMETRY_FLAG_SLICE,
 };
 use proptest::prelude::*;
+
+/// Builds a telemetry digest honestly — histogram cells populated via
+/// `record` so the sparse encoding stays canonical.
+fn build_telemetry(channel: u32, item: u32, generation: u64, a: f64, b: f64) -> Frame {
+    let mut t = TelemetryFrame::empty();
+    t.client = channel;
+    t.seq = item;
+    t.flags = if item.is_multiple_of(2) { TELEMETRY_FLAG_SLICE } else { 0 };
+    t.last_generation = generation;
+    t.generation = generation;
+    t.origin = a;
+    t.samples = u64::from(item % 9);
+    t.mean_access = a / 3.0;
+    t.mean_tuning = b / 5.0;
+    t.predicted_access = a / 2.0;
+    t.requests = u64::from(item);
+    t.completed = u64::from(item / 2);
+    t.cache_hits = u64::from(item % 3);
+    t.conflicts = u64::from(item % 4);
+    t.retunes = u64::from(item % 5);
+    t.torn = u64::from(item % 2);
+    for i in 0..(item % 6) {
+        t.access.record((a as u64).wrapping_mul(u64::from(i + 1)));
+        t.tuning.record((b as u64).wrapping_add(u64::from(i)));
+    }
+    t.coverage = (0..(item % 4)).map(|c| (c, u64::from(c) * 7 + generation)).collect();
+    Frame::Telemetry(Box::new(t))
+}
 
 /// Builds a mixed frame sequence from primitive draws.
 fn build_frames(specs: &[(u8, u32, u32, u64, f64, f64)]) -> Vec<Frame> {
     specs
         .iter()
-        .map(|&(kind, channel, item, generation, a, b)| match kind % 4 {
+        .map(|&(kind, channel, item, generation, a, b)| match kind % 5 {
             0 => {
                 Frame::Data(DataFrame { channel, item, generation, start: a, duration: b })
             }
@@ -29,6 +58,7 @@ fn build_frames(specs: &[(u8, u32, u32, u64, f64, f64)]) -> Vec<Frame> {
                 format!("{{\"generation\":{generation},\"channel\":{channel}}}")
                     .into_bytes(),
             ),
+            3 => build_telemetry(channel, item, generation, a, b),
             _ => Frame::End { horizon: a },
         })
         .collect()

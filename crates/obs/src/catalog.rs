@@ -263,10 +263,34 @@ pub const CATALOG: &[MetricDef] = &[
         help: "Requested items answered from fleet client caches",
     },
     MetricDef {
+        name: "fleet.clients",
+        kind: MetricKind::Gauge,
+        unit: "1",
+        help: "Distinct clients heard on the telemetry uplink",
+    },
+    MetricDef {
         name: "fleet.conflicts",
         kind: MetricKind::Counter,
         unit: "1",
         help: "Wanted-item occurrences that aired while a fleet client's tuner was busy",
+    },
+    MetricDef {
+        name: "fleet.generation.access",
+        kind: MetricKind::Gauge,
+        unit: "s",
+        help: "Fleet-observed mean access time per generation (virtual seconds); indexed as .<generation>",
+    },
+    MetricDef {
+        name: "fleet.generation.gap",
+        kind: MetricKind::Gauge,
+        unit: "1",
+        help: "Relative observed-vs-Eq. 2 access-time gap per generation; indexed as .<generation>",
+    },
+    MetricDef {
+        name: "fleet.generation.predicted",
+        kind: MetricKind::Gauge,
+        unit: "s",
+        help: "Eq. 2 expected access time per generation, conditioned on fleet draws; indexed as .<generation>",
     },
     MetricDef {
         name: "fleet.requests",
@@ -281,6 +305,12 @@ pub const CATALOG: &[MetricDef] = &[
         help: "Fleet client downloads abandoned at a hot-swap boundary",
     },
     MetricDef {
+        name: "fleet.stragglers",
+        kind: MetricKind::Gauge,
+        unit: "1",
+        help: "Uplink clients whose acked generation trails the published one",
+    },
+    MetricDef {
         name: "fleet.torn_frames",
         kind: MetricKind::Counter,
         unit: "1",
@@ -291,6 +321,24 @@ pub const CATALOG: &[MetricDef] = &[
         kind: MetricKind::Histogram,
         unit: "us",
         help: "Per-request tuning time measured by fleet clients (virtual microseconds)",
+    },
+    MetricDef {
+        name: "fleet.uplink.access",
+        kind: MetricKind::Histogram,
+        unit: "us",
+        help: "Fleet access-time rollup merged from client digest histogram cells",
+    },
+    MetricDef {
+        name: "fleet.uplink.digests",
+        kind: MetricKind::Counter,
+        unit: "1",
+        help: "Client telemetry digests folded into the fleet aggregator",
+    },
+    MetricDef {
+        name: "fleet.uplink.tuning",
+        kind: MetricKind::Histogram,
+        unit: "us",
+        help: "Fleet tuning-time rollup merged from client digest histogram cells",
     },
     MetricDef {
         name: "net.bytes_sent",
@@ -317,10 +365,46 @@ pub const CATALOG: &[MetricDef] = &[
         help: "Frames enqueued to broadcast subscribers (fan-out counted per subscriber)",
     },
     MetricDef {
+        name: "net.subscriber.queue_depth",
+        kind: MetricKind::Gauge,
+        unit: "1",
+        help: "Deepest live subscriber frame queue at the last broadcast (back-pressure building)",
+    },
+    MetricDef {
+        name: "net.subscriber.queue_peak",
+        kind: MetricKind::Gauge,
+        unit: "1",
+        help: "High-watermark of any subscriber's frame queue depth since startup",
+    },
+    MetricDef {
         name: "net.subscribers",
         kind: MetricKind::Gauge,
         unit: "1",
         help: "Live broadcast subscriber connections",
+    },
+    MetricDef {
+        name: "net.uplink.bytes",
+        kind: MetricKind::Counter,
+        unit: "By",
+        help: "Bytes read off telemetry uplink connections",
+    },
+    MetricDef {
+        name: "net.uplink.clients",
+        kind: MetricKind::Gauge,
+        unit: "1",
+        help: "Live telemetry uplink connections",
+    },
+    MetricDef {
+        name: "net.uplink.decode_errors",
+        kind: MetricKind::Counter,
+        unit: "1",
+        help: "Uplink frames that failed to decode or carried a non-telemetry type",
+    },
+    MetricDef {
+        name: "net.uplink.frames",
+        kind: MetricKind::Counter,
+        unit: "1",
+        help: "Telemetry frames decoded off the uplink",
     },
     MetricDef {
         name: "scope.sampler.scrape",
@@ -615,6 +699,37 @@ mod tests {
         // The fallback only strips an all-digit final segment.
         assert!(describe("serve.channel.load.x1").is_none());
         assert!(describe("serve.channel.nope.3").is_none());
+    }
+
+    #[test]
+    fn fleet_observability_names_are_catalogued() {
+        // The distributed-observability plane's required names: every
+        // metric the uplink server, fleet aggregator, and subscriber
+        // back-pressure gauges record must resolve in the catalogue.
+        for name in [
+            "fleet.clients",
+            "fleet.stragglers",
+            "fleet.uplink.access",
+            "fleet.uplink.digests",
+            "fleet.uplink.tuning",
+            "net.subscriber.queue_depth",
+            "net.subscriber.queue_peak",
+            "net.uplink.bytes",
+            "net.uplink.clients",
+            "net.uplink.decode_errors",
+            "net.uplink.frames",
+        ] {
+            assert!(describe(name).is_some(), "missing catalogue entry: {name}");
+        }
+        for family in [
+            "fleet.generation.access",
+            "fleet.generation.gap",
+            "fleet.generation.predicted",
+        ] {
+            let def = describe(&format!("{family}.3"))
+                .unwrap_or_else(|| panic!("missing indexed family: {family}"));
+            assert_eq!(def.name, family);
+        }
     }
 
     #[test]

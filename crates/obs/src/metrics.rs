@@ -134,6 +134,13 @@ impl Histogram {
         }
     }
 
+    /// A histogram not registered anywhere: scratch space for folding
+    /// [`HistogramCells`] digests (fleet rollups, merge tests) without
+    /// touching the process-wide registry.
+    pub fn detached() -> Self {
+        Self::new()
+    }
+
     /// Records one observation (when recording is enabled).
     #[inline]
     pub fn record(&self, v: u64) {
@@ -280,6 +287,55 @@ impl Histogram {
         }
     }
 
+    /// Freezes the raw cells — dense buckets plus count/sum/min/max —
+    /// as plain mergeable data. Like [`snapshot`](Self::snapshot) the
+    /// buckets are read before the count, and the count is clamped up
+    /// to the bucket total, so a racing record can only inflate
+    /// `count`, never leave it below the bucket series.
+    pub fn cells(&self) -> HistogramCells {
+        let buckets = self.bucket_counts();
+        let bucket_total: u64 = buckets.iter().sum();
+        HistogramCells {
+            buckets,
+            count: self.count().max(bucket_total),
+            sum: self.sum(),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Folds a cells digest into this histogram element-wise (when
+    /// recording is enabled): the result is exactly what recording the
+    /// digest's underlying observations here would have produced.
+    #[inline]
+    pub fn merge_cells(&self, cells: &HistogramCells) {
+        if crate::enabled() {
+            self.force_merge_cells(cells);
+        }
+    }
+
+    /// [`merge_cells`](Self::merge_cells) bypassing the enable switch,
+    /// so the merge arithmetic stays testable with the feature off.
+    pub fn force_merge_cells(&self, cells: &HistogramCells) {
+        for (i, &c) in cells.buckets.iter().enumerate() {
+            if c > 0 {
+                self.buckets[i].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        if cells.count > 0 {
+            self.count.fetch_add(cells.count, Ordering::Relaxed);
+            self.sum.fetch_add(cells.sum, Ordering::Relaxed);
+            self.min.fetch_min(cells.min, Ordering::Relaxed);
+            self.max.fetch_max(cells.max, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds another histogram's current contents into this one (when
+    /// recording is enabled).
+    pub fn merge_from(&self, other: &Histogram) {
+        self.merge_cells(&other.cells());
+    }
+
     pub(crate) fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
@@ -288,6 +344,71 @@ impl Histogram {
         self.sum.store(0, Ordering::Relaxed);
         self.min.store(u64::MAX, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-data histogram cells: the element-wise mergeable core of a
+/// [`Histogram`]. Merging is associative and commutative with
+/// [`HistogramCells::empty`] as identity (property-tested), so
+/// per-client digests fold into exact fleet rollups in any order —
+/// the same algebra count-min sketch cells obey.
+///
+/// `min` is `u64::MAX` while empty so that `min.min(other.min)` is the
+/// correct fold without a special case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramCells {
+    /// Dense per-bucket counts (see [`bucket_index`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations (wraps above `u64::MAX` totals).
+    pub sum: u64,
+    /// Smallest observation, `u64::MAX` when empty.
+    pub min: u64,
+    /// Largest observation, `0` when empty.
+    pub max: u64,
+}
+
+impl Default for HistogramCells {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramCells {
+    /// The merge identity: no observations.
+    pub const fn empty() -> Self {
+        HistogramCells { buckets: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Whether any observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Element-wise merge: bucket and scalar sums, min/max folds.
+    pub fn merge(&mut self, other: &HistogramCells) {
+        for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean observation, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 }
 
@@ -447,6 +568,76 @@ mod tests {
         assert_eq!(h.count(), 40_000);
         let bucket_total: u64 = h.nonzero_buckets().iter().map(|&(_, c)| c).sum();
         assert_eq!(bucket_total, 40_000);
+    }
+
+    #[test]
+    fn cells_round_trip_and_merge_exactly() {
+        let h = Histogram::detached();
+        for v in [0u64, 1, 5, 5, 100, 1000] {
+            h.force_record(v);
+        }
+        let cells = h.cells();
+        assert_eq!(cells.count, 6);
+        assert_eq!(cells.sum, 1111);
+        assert_eq!(cells.min, 0);
+        assert_eq!(cells.max, 1000);
+
+        // Folding the cells into a fresh histogram reproduces it.
+        let g = Histogram::detached();
+        g.force_merge_cells(&cells);
+        assert_eq!(g.cells(), cells);
+        assert_eq!(g.snapshot(), h.snapshot());
+
+        // Splitting the stream and merging matches pooled recording.
+        let (a, b) = (Histogram::detached(), Histogram::detached());
+        for v in [0u64, 1, 5] {
+            a.force_record(v);
+        }
+        for v in [5u64, 100, 1000] {
+            b.force_record(v);
+        }
+        let mut merged = a.cells();
+        merged.merge(&b.cells());
+        assert_eq!(merged, cells);
+    }
+
+    #[test]
+    fn empty_cells_are_the_merge_identity() {
+        let mut cells = HistogramCells::empty();
+        assert!(cells.is_empty());
+        assert_eq!(cells.mean(), None);
+        let mut populated = HistogramCells::empty();
+        populated.record(7);
+        populated.record(9000);
+        let before = populated.clone();
+        populated.merge(&HistogramCells::empty());
+        assert_eq!(populated, before);
+        cells.merge(&before);
+        assert_eq!(cells, before);
+        // Merging empty into a live histogram leaves min/max untouched.
+        let h = Histogram::detached();
+        h.force_merge_cells(&HistogramCells::empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+    }
+
+    #[test]
+    fn gated_merge_respects_the_enable_switch() {
+        let _guard = crate::TEST_SWITCH_LOCK.lock().unwrap();
+        crate::set_enabled(false);
+        let mut cells = HistogramCells::empty();
+        cells.record(42);
+        let h = Histogram::detached();
+        h.merge_cells(&cells);
+        assert_eq!(h.count(), 0, "disabled merge must be a no-op");
+        crate::set_enabled(true);
+        let g = Histogram::detached();
+        g.force_merge_cells(&cells);
+        if crate::enabled() {
+            let f = Histogram::detached();
+            f.merge_from(&g);
+            assert_eq!(f.count(), 1);
+        }
     }
 
     #[test]

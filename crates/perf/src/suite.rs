@@ -363,6 +363,65 @@ pub fn standard_suite() -> Vec<Benchmark> {
         black_box((report, egress_report));
     }));
 
+    // The telemetry uplink's server-side tax: decode a pinned wire
+    // stream of fleet digests (4 clients × acks + measurement slices,
+    // encoded once up front) and fold every frame into a fresh
+    // aggregator. This is the entire per-digest cost the serve process
+    // pays beyond the socket read, so its median is pinned to ≤2% of
+    // the serve-loop median by the contract test below.
+    let uplink_wire = {
+        let mut wire = Vec::new();
+        for client in 0..4u32 {
+            for generation in 0..2u64 {
+                let mut ack = dbcast_net::TelemetryFrame::empty();
+                ack.client = client;
+                ack.seq = generation as u32 * 2;
+                ack.last_generation = generation;
+                dbcast_net::encode_telemetry_frame_into(&mut wire, &ack);
+
+                let mut slice = dbcast_net::TelemetryFrame::empty();
+                slice.client = client;
+                slice.seq = generation as u32 * 2 + 1;
+                slice.flags = dbcast_net::TELEMETRY_FLAG_SLICE;
+                slice.last_generation = 1;
+                slice.generation = generation;
+                slice.origin = generation as f64 * 12.5;
+                slice.samples = 6;
+                slice.mean_access = 0.42 + f64::from(client) * 0.003;
+                slice.mean_tuning = 0.03;
+                slice.predicted_access = 0.40;
+                slice.requests = 8;
+                slice.completed = 6;
+                slice.cache_hits = 1;
+                slice.conflicts = 2;
+                slice.retunes = 3;
+                slice.torn = 0;
+                for k in 0..6u64 {
+                    slice.access.record(400_000 + k * 17_000 + u64::from(client));
+                    slice.tuning.record(30_000 + k * 500);
+                }
+                slice.coverage = vec![(0, 120), (1, 96), (2, 80)];
+                dbcast_net::encode_telemetry_frame_into(&mut wire, &slice);
+            }
+        }
+        wire
+    };
+    suite.push(Benchmark::new("fleet_uplink", move || {
+        let aggregator = dbcast_serve::FleetAggregator::new();
+        aggregator.set_published(1);
+        let mut decoder = dbcast_net::FrameDecoder::new();
+        decoder.push(&uplink_wire);
+        let mut digests = 0u64;
+        while let Ok(Some(frame)) = decoder.next_frame() {
+            if let dbcast_net::Frame::Telemetry(t) = frame {
+                aggregator.ingest(&dbcast_net::digest_from_frame(&t));
+                digests += 1;
+            }
+        }
+        assert_eq!(digests, 16, "pinned uplink stream must decode in full");
+        black_box(aggregator.doc());
+    }));
+
     suite
 }
 
@@ -390,7 +449,8 @@ mod tests {
                 "serve_swap",
                 "scope_sampler",
                 "audit_sampler",
-                "fleet_e2e"
+                "fleet_e2e",
+                "fleet_uplink"
             ]
         );
     }
@@ -430,6 +490,26 @@ mod tests {
             "per-request audit tax ({} ns for the 4000-request sweep) exceeds 2% \
              of the serve-loop median ({} ns)",
             audit.median_ns,
+            serve.median_ns,
+        );
+    }
+
+    #[test]
+    fn uplink_overhead_is_pinned_in_the_bench_contract() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json");
+        let baseline = crate::BenchReport::load(std::path::Path::new(path))
+            .expect("committed baseline loads");
+        let uplink = baseline
+            .benchmark("fleet_uplink")
+            .expect("baseline carries the fleet-uplink benchmark");
+        let serve = baseline
+            .benchmark("serve_loop")
+            .expect("baseline carries the serve-loop benchmark");
+        assert!(
+            uplink.median_ns <= 0.02 * serve.median_ns,
+            "uplink decode + aggregation ({} ns for the 16-digest stream) exceeds \
+             2% of the serve-loop median ({} ns)",
+            uplink.median_ns,
             serve.median_ns,
         );
     }

@@ -216,6 +216,53 @@ pub fn render_top(doc: &SeriesDoc, opts: &TopOptions) -> String {
         }
     }
 
+    // Fleet panel: populated when the process runs a telemetry uplink
+    // (`serve --listen-uplink`). Shows the connected-client census, the
+    // stragglers trailing the published generation, digest throughput
+    // and the live observed-vs-Eq. 2 access-time gap per generation.
+    if let Some(clients) = doc.series("fleet.clients").and_then(|s| s.last()) {
+        let stragglers = doc
+            .series("fleet.stragglers")
+            .and_then(|s| s.last())
+            .map(|v| v as u64)
+            .unwrap_or(0);
+        let digests = doc
+            .series("fleet.uplink.digests")
+            .and_then(|s| s.last())
+            .map(|v| v as u64)
+            .unwrap_or(0);
+        out.push_str(&p.paint(CYAN, "fleet (telemetry uplink):\n"));
+        let lag = if stragglers > 0 {
+            p.paint(RED, &format!("{stragglers} straggling"))
+        } else {
+            p.paint(GREEN, "0 straggling")
+        };
+        out.push_str(&format!(
+            "  clients {:>4}  {lag}  digests {digests}\n",
+            clients as u64
+        ));
+        for entry in doc.series_with_prefix("fleet.generation.gap.") {
+            let index = entry.name.rsplit('.').next().unwrap_or("?");
+            let observed = doc
+                .series(&format!("fleet.generation.access.{index}"))
+                .and_then(|s| s.last())
+                .unwrap_or(0.0);
+            let predicted = doc
+                .series(&format!("fleet.generation.predicted.{index}"))
+                .and_then(|s| s.last())
+                .unwrap_or(0.0);
+            let values = raw_values(entry);
+            let last = values.last().copied().unwrap_or(0.0);
+            out.push_str(&format!(
+                "  gen{index:<3} obs {:>8}s  Eq.2 {:>8}s  gap {:>7}  {}\n",
+                fmt_value(observed),
+                fmt_value(predicted),
+                format!("{:.1}%", last * 100.0),
+                sparkline(&values, opts.width)
+            ));
+        }
+    }
+
     if let Some(firings) = doc.series("scope.watchdog.firings").and_then(|s| s.last()) {
         if firings > 0.0 {
             out.push_str(
@@ -310,6 +357,41 @@ mod tests {
 
         let colored = render_top(&doc, &TopOptions { color: true, width: 40 });
         assert!(colored.contains("\x1b[31m"), "burn rate 1.4 should paint red");
+    }
+
+    #[test]
+    fn top_renders_the_fleet_panel_when_uplink_series_exist() {
+        let doc = json::SeriesDoc {
+            schema: 1,
+            tick: 3,
+            wall_ms: 900,
+            series: vec![
+                entry("fleet.clients", SeriesKind::Gauge, &[8.0]),
+                entry("fleet.stragglers", SeriesKind::Gauge, &[1.0]),
+                entry("fleet.uplink.digests", SeriesKind::Counter, &[24.0]),
+                entry("fleet.generation.access.0", SeriesKind::Gauge, &[0.42]),
+                entry("fleet.generation.predicted.0", SeriesKind::Gauge, &[0.40]),
+                entry("fleet.generation.gap.0", SeriesKind::Gauge, &[0.05]),
+            ],
+            histograms: Vec::new(),
+        };
+        let text = render_top(&doc, &TopOptions::default());
+        assert!(text.contains("fleet (telemetry uplink):"), "{text}");
+        assert!(text.contains("clients    8"), "{text}");
+        assert!(text.contains("1 straggling"), "{text}");
+        assert!(text.contains("digests 24"), "{text}");
+        assert!(text.contains("gen0"), "{text}");
+        assert!(text.contains("gap    5.0%"), "{text}");
+
+        // No fleet series → no fleet panel.
+        let bare = json::SeriesDoc {
+            schema: 1,
+            tick: 0,
+            wall_ms: 0,
+            series: Vec::new(),
+            histograms: Vec::new(),
+        };
+        assert!(!render_top(&bare, &TopOptions::default()).contains("fleet"));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 mod drift;
 mod estimator;
+mod fleet;
 mod runtime;
 mod sketch;
 mod slo;
@@ -37,6 +38,10 @@ mod swap;
 pub use dbcast_audit::{AuditConfig, AuditSummary};
 pub use drift::{l1_distance, Drift, DriftDetector};
 pub use estimator::{EstimatorConfig, FrequencyEstimator};
+pub use fleet::{
+    validate_fleet, FleetAggregator, FleetCoverage, FleetDigest, FleetDoc, FleetGeneration,
+    FLEET_OBS_SCHEMA,
+};
 pub use runtime::{
     GenerationStats, ProgramGeneration, RepairMode, RepairReport, ServeConfig, ServeError,
     ServeReport, ServeRuntime, WorkerMode,
